@@ -1,0 +1,78 @@
+// Command concmap is the standalone concurrency-map generator — the
+// reproduction of the external script in the paper's pipeline (§4.3) that
+// processes Caliper's output files into the Concurrency Map.
+//
+// It reads a sample trace (produced by `layouttool -dump`), buckets the
+// samples into fixed time slices, computes CodeConcurrency for every pair
+// of source lines, and writes the map as text ("fileA:lineA fileB:lineB
+// cc"). With -top it prints only the highest-concurrency pairs, which is
+// what a programmer scans for false-sharing suspects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"structlayout/internal/concurrency"
+	"structlayout/internal/sampling"
+	"structlayout/internal/workload"
+)
+
+func main() {
+	var (
+		traceIn = flag.String("trace", "", "sample trace JSON (required; see layouttool -dump)")
+		slice   = flag.Int64("slice", workload.CollectSliceCycles, "time-slice length in cycles")
+		top     = flag.Int("top", 0, "print only the top-N pairs instead of the full map")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if *traceIn == "" {
+		fmt.Fprintln(os.Stderr, "concmap: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*traceIn, *slice, *top, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "concmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceIn string, slice int64, top int, out string) error {
+	suite, err := workload.NewSuite(workload.DefaultParams())
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(traceIn)
+	if err != nil {
+		return err
+	}
+	trace, err := sampling.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: slice})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "" {
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if top > 0 {
+		fmt.Fprintf(w, "# top %d concurrent source-line pairs (of %d)\n", top, len(cm.CC))
+		for _, pair := range cm.TopPairs(top) {
+			fmt.Fprintf(w, "%s %s %.6g\n",
+				suite.Prog.Block(pair.A).Line, suite.Prog.Block(pair.B).Line, cm.CC[pair])
+		}
+		return nil
+	}
+	return cm.WriteText(w, suite.Prog)
+}

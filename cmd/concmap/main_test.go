@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structlayout/internal/machine"
+	"structlayout/internal/workload"
+)
+
+func TestConcmapRoundTrip(t *testing.T) {
+	// Produce a trace via a short collection, then process it.
+	suite, err := workload.NewSuite(workload.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := suite.Collect(machine.Bus4(), suite.BaselineLayouts(128), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "cm.txt")
+	if err := run(tracePath, workload.CollectSliceCycles, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("empty concurrency map")
+	}
+	topOut := filepath.Join(dir, "top.txt")
+	if err := run(tracePath, workload.CollectSliceCycles, 5, topOut); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := os.ReadFile(topOut)
+	if len(top) == 0 || len(top) >= len(full) {
+		t.Fatalf("top output wrong: %d vs %d bytes", len(top), len(full))
+	}
+}
+
+func TestConcmapMissingTrace(t *testing.T) {
+	if err := run("/nonexistent/trace.json", 1000, 0, ""); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Command experiments regenerates the paper's evaluation section (§5):
+//
+//	experiments fig8       Figure 8: auto + sort-by-hotness vs baseline, 128-way
+//	experiments fig9       Figure 9: auto vs baseline, 4-way
+//	experiments fig10      Figure 10: best layout per struct, 128-way
+//	experiments stability  §4.3: concurrency-map stability across machines
+//	experiments all        everything
+//
+// The absolute throughputs come from the machine simulator, not an HP
+// Superdome, so only the shape of each figure — who wins, by roughly what
+// factor, where the crossovers fall — is expected to match the paper.
+// EXPERIMENTS.md records the paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"structlayout/internal/experiments"
+)
+
+func main() {
+	var (
+		runs  = flag.Int("runs", 10, "measured runs per configuration (the paper uses 10)")
+		quick = flag.Bool("quick", false, "3 runs per configuration for a fast look")
+		seed  = flag.Int64("seed", 20070311, "base seed")
+	)
+	flag.Parse()
+	what := flag.Arg(0)
+	if what == "" {
+		what = "all"
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = *runs
+	if *quick {
+		cfg.Runs = 3
+	}
+	cfg.BaseSeed = *seed
+
+	if err := run(what, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, cfg experiments.Config) error {
+	start := time.Now()
+	fmt.Printf("collection phase on %s...\n", cfg.CollectTopo.Name)
+	p, err := experiments.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline ready in %v (%d runs per configuration)\n\n", time.Since(start).Round(time.Millisecond), cfg.Runs)
+
+	type job struct {
+		name string
+		fn   func() error
+	}
+	jobs := map[string]job{
+		"fig8": {"Figure 8", func() error {
+			f, err := p.Fig8()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			return nil
+		}},
+		"fig9": {"Figure 9", func() error {
+			f, err := p.Fig9()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			return nil
+		}},
+		"fig10": {"Figure 10", func() error {
+			f, err := p.Fig10()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			return nil
+		}},
+		"stability": {"Concurrency stability", func() error {
+			r, err := p.ConcurrencyStability(20)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		"predict": {"Prediction accuracy", func() error {
+			rows, err := p.PredictionAccuracy()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.PredictionReport(rows))
+			return nil
+		}},
+	}
+	order := []string{"fig8", "fig9", "fig10", "stability", "predict"}
+
+	if what == "all" {
+		for _, k := range order {
+			if err := jobs[k].fn(); err != nil {
+				return fmt.Errorf("%s: %w", jobs[k].name, err)
+			}
+		}
+		fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	j, ok := jobs[what]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict or all)", what)
+	}
+	if err := j.fn(); err != nil {
+		return err
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

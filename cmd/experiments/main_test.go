@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"structlayout/internal/experiments"
+)
+
+func TestRunFig9Quick(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = 1
+	if err := run("fig9", cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = 1
+	if err := run("fig99", cfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

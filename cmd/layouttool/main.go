@@ -1,0 +1,390 @@
+// Command layouttool is the reproduction of the paper's semi-automatic
+// structure-layout tool (§4, Figure 3). It drives the whole pipeline for
+// one of the kernel structs A..E of the built-in SDET-like workload:
+//
+//  1. collect a PBO profile and synchronized PMU samples by running the
+//     workload under the baseline layouts on a collection machine,
+//  2. build the struct's Field Layout Graph (CycleGain from affinity,
+//     CycleLoss from CodeConcurrency joined with the field mapping file),
+//  3. cluster it greedily and emit the suggested layout, together with the
+//     evidence (intra-/inter-cluster weights, large positive and negative
+//     edges) a programmer needs to adopt or adapt it,
+//  4. optionally emit the incremental ("best", §5.2) layout that minimally
+//     alters the hand-tuned baseline.
+//
+// In the paper the compiler and HP Caliper supply the inputs for arbitrary
+// programs; here the workload is compiled in, and the intermediate products
+// (profile, concurrency map, field mapping file, sample trace) can be
+// written with -dump for inspection or for replay via -profile/-trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"structlayout/internal/core"
+	"structlayout/internal/driver"
+	"structlayout/internal/fieldmap"
+	"structlayout/internal/flg"
+	"structlayout/internal/irtext"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/profile"
+	"structlayout/internal/report"
+	"structlayout/internal/sampling"
+	"structlayout/internal/transform"
+	"structlayout/internal/workload"
+)
+
+func main() {
+	var (
+		programIn   = flag.String("program", "", "irtext program file; when set, -struct names a struct of that program")
+		structLabel = flag.String("struct", "A", "kernel struct to lay out: A..E (built-in workload) or a struct name of -program")
+		collectOn   = flag.String("collect-machine", "way16", "collection machine: bus4, way16 or superdome128")
+		mode        = flag.String("mode", "both", "layout mode: auto, best or both")
+		split       = flag.Bool("split", false, "also print the hot/cold structure-splitting advisory")
+		rank        = flag.Bool("rank", false, "rank all structs by optimization potential instead of advising one")
+		dotOut      = flag.String("dot", "", "write the struct's Field Layout Graph as Graphviz DOT to this file")
+		seed        = flag.Int64("seed", 20070311, "collection seed")
+		scripts     = flag.Int64("collect-scripts", 12, "SDET scripts per thread during collection")
+		k1          = flag.Float64("k1", 4, "CycleGain scale constant")
+		k2          = flag.Float64("k2", 1, "CycleLoss scale constant")
+		topK        = flag.Int("topk", 20, "positive edges kept by the incremental mode")
+		noAlias     = flag.Bool("no-alias-analysis", false, "disable the alias-analysis CycleLoss mitigation")
+		profileIn   = flag.String("profile", "", "read the profile from this JSON file instead of collecting")
+		traceIn     = flag.String("trace", "", "read the sample trace from this JSON file instead of collecting")
+		dumpDir     = flag.String("dump", "", "write profile.json, trace.json, concmap.txt and fmf.txt to this directory")
+	)
+	flag.Parse()
+	var err error
+	if *rank {
+		err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2)
+	} else if *programIn != "" {
+		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut)
+	} else {
+		err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layouttool:", err)
+		os.Exit(1)
+	}
+}
+
+// runRank prints the whole-program struct ranking (the §5.1 key-structure
+// identification step) for the built-in workload or a DSL program.
+func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64) error {
+	topo, err := topoByName(collectOn)
+	if err != nil {
+		return err
+	}
+	var analysis *core.Analysis
+	if programIn != "" {
+		src, err := os.ReadFile(programIn)
+		if err != nil {
+			return err
+		}
+		file, err := irtext.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		res, err := driver.Collect(file, driver.Config{Topo: topo, Seed: seed}, nil)
+		if err != nil {
+			return err
+		}
+		analysis, err = core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
+			LineSize:    128,
+			SliceCycles: res.Cycles/64 + 1,
+			FLG:         flg.Options{K1: k1, K2: k2},
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		params := workload.DefaultParams()
+		params.ScriptsPerThread = scripts
+		suite, err := workload.NewSuite(params)
+		if err != nil {
+			return err
+		}
+		pf, trace, err := suite.Collect(topo, suite.BaselineLayouts(int(params.Cache.LineSize)), seed)
+		if err != nil {
+			return err
+		}
+		analysis, err = core.NewAnalysis(suite.Prog, pf, trace, core.Options{
+			LineSize:    int(params.Cache.LineSize),
+			SliceCycles: workload.CollectSliceCycles,
+			FLG:         flg.Options{K1: k1, K2: k2, AliasOracle: workload.PrivateAliasOracle(suite.Prog)},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	ranks, err := analysis.RankStructs()
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RankReport(ranks))
+	return nil
+}
+
+// runProgramFile drives the tool over a user-supplied irtext program.
+func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := irtext.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	topo, err := topoByName(collectOn)
+	if err != nil {
+		return err
+	}
+	if err := driver.ValidateThreads(file, topo); err != nil {
+		return err
+	}
+	st := file.Prog.Struct(structName)
+	if st == nil {
+		var names []string
+		for _, s := range file.Prog.Structs {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("program %s has no struct %q (structs: %v)", file.Prog.Name, structName, names)
+	}
+	cfg := driver.Config{Topo: topo, Seed: seed}
+	fmt.Printf("collecting %s on %s...\n", file.Prog.Name, topo.Name)
+	res, err := driver.Collect(file, cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d samples over %d cycles\n", len(res.Trace.Samples), res.Cycles)
+	analysis, err := core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
+		LineSize:     cfg.LineSize(),
+		SliceCycles:  res.Cycles/64 + 1, // ~64 slices over the run
+		TopKPositive: topK,
+		FLG:          flg.Options{K1: k1, K2: k2},
+	})
+	if err != nil {
+		return err
+	}
+	orig := layout.Original(st, cfg.LineSize())
+	if dotOut != "" {
+		if err := writeDOT(analysis, structName, dotOut); err != nil {
+			return err
+		}
+	}
+	if mode == "auto" || mode == "both" {
+		sugg, err := analysis.Suggest(structName, orig)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sugg.Report.String())
+	}
+	if mode == "best" || mode == "both" {
+		best, clusters, err := analysis.Best(structName, orig)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== incremental (\"best\") layout for struct %s ====\n", structName)
+		fmt.Printf("constraint clusters: %d\n", len(clusters.Clusters))
+		fmt.Print(best.Dump())
+		fmt.Printf("\n-- movement from declaration order --\n%s", report.Diff(orig, best))
+	}
+	if split {
+		fmt.Println(transform.Split(file.Prog, res.Profile, st, transform.Options{LineSize: cfg.LineSize()}))
+	}
+	return nil
+}
+
+// writeDOT renders a struct's FLG for Graphviz.
+func writeDOT(analysis *core.Analysis, structName, path string) error {
+	g, err := analysis.BuildFLG(structName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteDOT(f, false); err != nil {
+		return err
+	}
+	fmt.Printf("wrote FLG graph to %s (render: dot -Tsvg %s -o flg.svg)\n", path, path)
+	return nil
+}
+
+func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float64, topK int, noAlias, split bool, profileIn, traceIn, dumpDir, dotOut string) error {
+	ks := (&labelSet{}).lookup(structLabel)
+	if ks == "" {
+		return fmt.Errorf("unknown struct %q (want A..E)", structLabel)
+	}
+	topo, err := topoByName(collectOn)
+	if err != nil {
+		return err
+	}
+
+	params := workload.DefaultParams()
+	params.ScriptsPerThread = scripts
+	suite, err := workload.NewSuite(params)
+	if err != nil {
+		return err
+	}
+	lineSize := int(params.Cache.LineSize)
+	baselines := suite.BaselineLayouts(lineSize)
+
+	var pf *profile.Profile
+	var trace *sampling.Trace
+	if profileIn != "" {
+		pf, err = readProfile(profileIn, suite)
+		if err != nil {
+			return err
+		}
+		if traceIn != "" {
+			trace, err = readTrace(traceIn)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("loaded profile from %s\n", profileIn)
+	} else {
+		fmt.Printf("collecting on %s (%d CPUs, %d scripts/thread)...\n", topo.Name, topo.NumCPUs(), scripts)
+		pf, trace, err = suite.Collect(topo, baselines, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected %d samples\n", len(trace.Samples))
+	}
+
+	opts := core.Options{
+		LineSize:     lineSize,
+		SliceCycles:  workload.CollectSliceCycles,
+		TopKPositive: topK,
+		FLG:          flg.Options{K1: k1, K2: k2},
+	}
+	if !noAlias {
+		opts.FLG.AliasOracle = workload.PrivateAliasOracle(suite.Prog)
+	}
+	analysis, err := core.NewAnalysis(suite.Prog, pf, trace, opts)
+	if err != nil {
+		return err
+	}
+
+	if dumpDir != "" {
+		if err := dumpArtifacts(dumpDir, suite, analysis, pf, trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote analysis artifacts to %s\n", dumpDir)
+	}
+
+	structName := suite.Struct(ks).Type.Name
+	orig := baselines[ks]
+	if dotOut != "" {
+		if err := writeDOT(analysis, structName, dotOut); err != nil {
+			return err
+		}
+	}
+	if mode == "auto" || mode == "both" {
+		sugg, err := analysis.Suggest(structName, orig)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sugg.Report.String())
+	}
+	if mode == "best" || mode == "both" {
+		best, clusters, err := analysis.Best(structName, orig)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== incremental (\"best\") layout for struct %s ====\n", structName)
+		fmt.Printf("constraint clusters: %d\n", len(clusters.Clusters))
+		fmt.Print(best.Dump())
+		fmt.Printf("\n-- movement from baseline --\n%s", report.Diff(orig, best))
+	}
+	if mode != "auto" && mode != "best" && mode != "both" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if split {
+		st := suite.Struct(ks).Type
+		fmt.Println(transform.Split(suite.Prog, pf, st, transform.Options{LineSize: lineSize}))
+	}
+	return nil
+}
+
+// labelSet validates struct labels.
+type labelSet struct{}
+
+func (labelSet) lookup(s string) string {
+	for _, l := range workload.Labels() {
+		if l == s {
+			return l
+		}
+	}
+	return ""
+}
+
+func topoByName(name string) (*machine.Topology, error) {
+	switch name {
+	case "bus4":
+		return machine.Bus4(), nil
+	case "way16":
+		return machine.Way16(), nil
+	case "superdome128":
+		return machine.Superdome128(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want bus4, way16 or superdome128)", name)
+	}
+}
+
+func readProfile(path string, suite *workload.Suite) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.ReadJSON(f, suite.Prog)
+}
+
+func readTrace(path string) (*sampling.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sampling.ReadJSON(f)
+}
+
+func dumpArtifacts(dir string, suite *workload.Suite, analysis *core.Analysis, pf *profile.Profile, trace *sampling.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("profile.json", func(f *os.File) error { return pf.WriteJSON(f) }); err != nil {
+		return err
+	}
+	if trace != nil {
+		if err := write("trace.json", func(f *os.File) error { return trace.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if analysis.Concurrency != nil {
+		if err := write("concmap.txt", func(f *os.File) error {
+			return analysis.Concurrency.WriteText(f, suite.Prog)
+		}); err != nil {
+			return err
+		}
+	}
+	return write("fmf.txt", func(f *os.File) error {
+		return fieldmap.Build(suite.Prog).WriteText(f)
+	})
+}

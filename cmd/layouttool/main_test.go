@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinStruct(t *testing.T) {
+	// Short collection, both modes, with dumps.
+	dir := t.TempDir()
+	if err := run("B", "bus4", "both", 7, 2, 4, 1, 20, false, true, "", "", dir, filepath.Join(dir, "flg.dot")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"profile.json", "trace.json", "concmap.txt", "fmf.txt", "flg.dot"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("dump artifact %s missing: %v", f, err)
+		}
+	}
+	// Replay from the dumped profile+trace.
+	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false,
+		filepath.Join(dir, "profile.json"), filepath.Join(dir, "trace.json"), "", ""); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRunProgramFileMode(t *testing.T) {
+	src := `
+program t
+struct s { a i64 b i64 w i64 }
+proc reader { loop 200 { read s.a loopvar  read s.b loopvar  compute 20 } }
+proc writer { loop 200 { write s.w shared 0  compute 30 } }
+proc m { call reader call writer }
+arena s 128
+thread 0 m iters 3
+thread 1 m iters 3
+thread 2 m iters 3
+thread 3 m iters 3
+`
+	path := filepath.Join(t.TempDir(), "t.slp")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, ""); err == nil {
+		t.Fatal("unknown struct accepted")
+	}
+	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, ""); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestRunRankMode(t *testing.T) {
+	if err := runRank("", "bus4", 3, 2, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("Z", "bus4", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if err := run("A", "vax", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := run("A", "bus4", "sideways", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunBaseline(t *testing.T) {
+	if err := run("bus4", "", "baseline", 2, 3, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithHotnessLayout(t *testing.T) {
+	if err := run("bus4", "A", "hotness", 2, 3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("vax", "", "baseline", 1, 1, false); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := run("bus4", "Z", "baseline", 1, 1, false); err == nil {
+		t.Fatal("unknown struct accepted")
+	}
+	if err := run("bus4", "A", "mystery", 1, 1, false); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: define a record type and a small multithreaded workload,
+// collect a profile and PMU-style samples on a simulated 4-way machine, and
+// ask the layout tool for a false-sharing-aware field order.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/core"
+	"structlayout/internal/exec"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/sampling"
+)
+
+func main() {
+	// A connection object: a pair of fields the reader thread walks
+	// together, a statistics counter the writer threads hammer, and some
+	// cold configuration data.
+	prog := ir.NewProgram("quickstart")
+	conn := ir.NewStruct("conn",
+		ir.I64("c_state"),    // walked by the poller
+		ir.I64("c_events"),   // walked by the poller
+		ir.I64("c_bytes_rx"), // bumped by every worker on the shared conn
+		ir.Ptr("c_handler"),
+		ir.I64("c_timeout"),
+		ir.Arr("c_name", 4, 8, 8),
+	)
+	prog.AddStruct(conn)
+
+	// The poller walks all connections reading state+events (affinity).
+	poller := prog.NewProc("poller")
+	poller.Loop(256, func(b *ir.Builder) {
+		b.Read(conn, "c_state", ir.LoopVar())
+		b.Read(conn, "c_events", ir.LoopVar())
+		b.Compute(25)
+	})
+	poller.Done()
+
+	// Workers account received bytes on one hot shared connection.
+	worker := prog.NewProc("worker")
+	worker.Loop(256, func(b *ir.Builder) {
+		b.Write(conn, "c_bytes_rx", ir.Shared(0))
+		b.Compute(60)
+	})
+	worker.Done()
+
+	mainProc := prog.NewProc("main")
+	mainProc.Call("poller")
+	mainProc.Call("worker")
+	mainProc.Done()
+	prog.MustFinalize()
+
+	// Collection run: 4 CPUs, everything instrumented.
+	runner, err := exec.NewRunner(prog, exec.Config{
+		Topo:     machine.Bus4(),
+		Cache:    coherence.DefaultItanium(),
+		Seed:     1,
+		Sampling: &sampling.Config{IntervalCycles: 250, DriftMaxCycles: 2, Seed: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	original := layout.Original(conn, 128)
+	if err := runner.DefineArena(original, 512); err != nil {
+		log.Fatal(err)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if err := runner.AddThread(cpu, "main", nil, 4); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d cycles, %d samples, %d false-sharing events\n\n",
+		res.Cycles, len(res.Trace.Samples), res.Coherence.FalseSharing)
+
+	// The tool: affinity + concurrency -> FLG -> clustering -> layout.
+	analysis, err := core.NewAnalysis(prog, res.Profile, res.Trace, core.Options{
+		LineSize:    128,
+		SliceCycles: 2500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suggestion, err := analysis.Suggest("conn", original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(suggestion.Report.String())
+}

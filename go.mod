@@ -1,0 +1,3 @@
+module structlayout
+
+go 1.22

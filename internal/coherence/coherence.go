@@ -1,0 +1,590 @@
+// Package coherence implements a MESI cache-coherence simulator with
+// per-CPU private caches, a directory, and a coherence granularity of one
+// cache line (the paper's Itanium systems keep coherence at the 128-byte L2
+// line, §1). It supplies the mechanism whose cost the layout tool tries to
+// minimize: a write to a line invalidates every other cached copy, and the
+// subsequent misses pay the machine topology's cache-to-cache latencies —
+// more than 1000 cycles across crossbars on a big Superdome, roughly an L2
+// miss on a small bus box.
+//
+// The simulator also classifies misses (cold / replacement / coherence) and
+// flags coherence events whose invalidating write did not overlap the bytes
+// the victim accesses — i.e. ground-truth false sharing. The layout tool
+// never sees these flags (it must infer false sharing from CodeConcurrency,
+// like the paper's tool); they exist for evaluation and tests.
+package coherence
+
+import (
+	"fmt"
+
+	"structlayout/internal/machine"
+)
+
+// State is a MESI line state.
+type State uint8
+
+// MESI states. Invalid lines are simply absent from the cache.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter state name.
+func (s State) String() string { return [...]string{"I", "S", "E", "M"}[s] }
+
+// MissKind classifies why an access was not a plain hit.
+type MissKind uint8
+
+const (
+	// MissNone: the access hit.
+	MissNone MissKind = iota
+	// MissCold: this CPU never held the line.
+	MissCold
+	// MissReplacement: the line was evicted for capacity earlier.
+	MissReplacement
+	// MissCoherence: the line was invalidated by another CPU's write.
+	MissCoherence
+	// MissUpgrade: the line was present Shared but the access was a write,
+	// requiring invalidation of the other copies.
+	MissUpgrade
+)
+
+// String names the miss kind.
+func (m MissKind) String() string {
+	return [...]string{"none", "cold", "replacement", "coherence", "upgrade"}[m]
+}
+
+// Protocol selects the coherence protocol. The paper's machines implement
+// hardware coherence in the MESI family (§1 cites MESI, MSI, MOSI, MOESI);
+// MESI is the default, MSI is available to quantify what the Exclusive
+// state buys (silent E→M upgrades for private data).
+type Protocol uint8
+
+const (
+	// MESI is the four-state protocol (default).
+	MESI Protocol = iota
+	// MSI drops the Exclusive state: a lone reader holds Shared, so its
+	// own later write still pays an upgrade transaction.
+	MSI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == MSI {
+		return "MSI"
+	}
+	return "MESI"
+}
+
+// Config sets the cache geometry. The default mirrors the paper's Itanium 2
+// parts: 128-byte coherence lines and a 6 MB private cache.
+type Config struct {
+	LineSize int64
+	Sets     int
+	Ways     int
+	// Protocol selects MESI (default) or MSI.
+	Protocol Protocol
+}
+
+// DefaultItanium returns the 6 MB, 12-way, 128 B/line configuration.
+func DefaultItanium() Config {
+	return Config{LineSize: 128, Sets: 4096, Ways: 12}
+}
+
+// SmallCache returns a deliberately tiny cache for tests that need to
+// provoke capacity evictions quickly.
+func SmallCache() Config {
+	return Config{LineSize: 128, Sets: 8, Ways: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("coherence: line size %d not a positive power of two", c.LineSize)
+	}
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("coherence: set count %d not a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("coherence: non-positive associativity %d", c.Ways)
+	}
+	if c.Protocol != MESI && c.Protocol != MSI {
+		return fmt.Errorf("coherence: unknown protocol %d", c.Protocol)
+	}
+	return nil
+}
+
+// AccessResult reports one access's outcome.
+type AccessResult struct {
+	// Latency in cycles, per the machine's latency model.
+	Latency int64
+	// Miss is MissNone for hits.
+	Miss MissKind
+	// FalseSharing marks a coherence miss or upgrade whose triggering
+	// remote write did not overlap the bytes of this access.
+	FalseSharing bool
+	// WriterAddr/WriterLen describe the invalidating write when
+	// FalseSharing is set, so callers can attribute the event to the
+	// *causing* field as well as the victim (what perf c2c's HITM report
+	// does).
+	WriterAddr int64
+	WriterLen  int32
+	// Invalidations is the number of remote copies invalidated.
+	Invalidations int
+	// Supplier is the CPU that supplied the line (-1 = memory or none).
+	Supplier int
+}
+
+// Stats aggregates counters, globally and per CPU.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	ColdMisses    uint64
+	ReplMisses    uint64
+	CohMisses     uint64
+	Upgrades      uint64
+	FalseSharing  uint64 // coherence events classified as false sharing
+	TrueSharing   uint64 // coherence events with overlapping bytes
+	Invalidations uint64 // copies invalidated by this CPU's writes
+	Writebacks    uint64
+	MemFetches    uint64
+}
+
+// add merges o into s.
+func (s *Stats) add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.ColdMisses += o.ColdMisses
+	s.ReplMisses += o.ReplMisses
+	s.CohMisses += o.CohMisses
+	s.Upgrades += o.Upgrades
+	s.FalseSharing += o.FalseSharing
+	s.TrueSharing += o.TrueSharing
+	s.Invalidations += o.Invalidations
+	s.Writebacks += o.Writebacks
+	s.MemFetches += o.MemFetches
+}
+
+// Misses returns the total full misses (excluding upgrades).
+func (s Stats) Misses() uint64 { return s.ColdMisses + s.ReplMisses + s.CohMisses }
+
+// lineInfo is the directory entry plus sharing history for one line.
+type lineInfo struct {
+	line    int64
+	sharers bitset // CPUs currently holding the line
+	owner   int32  // CPU holding it E/M, -1 otherwise
+
+	everCached  bitset // CPUs that ever held the line (cold classification)
+	invalidated bitset // CPUs whose copy was invalidated (vs evicted)
+
+	lastWriter   int32 // CPU of the most recent invalidating write
+	lastWriteLo  int32 // byte range of that write within the line
+	lastWriteHi  int32
+	hasLastWrite bool
+}
+
+// way is one cache slot.
+type way struct {
+	info  *lineInfo
+	state State
+}
+
+// cpuCache is one CPU's private cache: Sets × Ways with LRU order per set
+// (most recently used last).
+type cpuCache struct {
+	sets [][]way
+}
+
+// System is a full multiprocessor coherence domain. It is not safe for
+// concurrent use: the execution engine drives it single-threaded under a
+// virtual clock, which keeps simulations deterministic.
+type System struct {
+	topo   *machine.Topology
+	cfg    Config
+	caches []cpuCache
+	lines  map[int64]*lineInfo
+
+	lineShift uint
+	setMask   int64
+	words     int // bitset words per CPU set
+
+	global Stats
+	perCPU []Stats
+}
+
+// NewSystem builds a coherence domain over the topology.
+func NewSystem(topo *machine.Topology, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := topo.NumCPUs()
+	s := &System{
+		topo:   topo,
+		cfg:    cfg,
+		caches: make([]cpuCache, n),
+		lines:  make(map[int64]*lineInfo),
+		perCPU: make([]Stats, n),
+		words:  (n + 63) / 64,
+	}
+	for i := int64(1); i < cfg.LineSize; i <<= 1 {
+		s.lineShift++
+	}
+	s.setMask = int64(cfg.Sets - 1)
+	for i := range s.caches {
+		s.caches[i].sets = make([][]way, cfg.Sets)
+	}
+	return s, nil
+}
+
+// MustNewSystem panics on config errors.
+func MustNewSystem(topo *machine.Topology, cfg Config) *System {
+	s, err := NewSystem(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the cache geometry.
+func (s *System) Config() Config { return s.cfg }
+
+// GlobalStats returns aggregate counters.
+func (s *System) GlobalStats() Stats { return s.global }
+
+// CPUStats returns one CPU's counters.
+func (s *System) CPUStats(cpu int) Stats { return s.perCPU[cpu] }
+
+// Access performs one read or write of size bytes at addr by cpu and
+// returns its outcome. Accesses that straddle a line boundary are split and
+// their latencies summed.
+func (s *System) Access(cpu int, addr int64, size int, write bool) AccessResult {
+	if size <= 0 {
+		panic(fmt.Sprintf("coherence: non-positive access size %d", size))
+	}
+	line := addr >> s.lineShift
+	endLine := (addr + int64(size) - 1) >> s.lineShift
+	res := s.accessLine(cpu, line, int32(addr-line<<s.lineShift), int32(min64(addr+int64(size), (line+1)<<s.lineShift)-(line<<s.lineShift)), write)
+	for l := line + 1; l <= endLine; l++ {
+		hi := int32(s.cfg.LineSize)
+		if l == endLine {
+			hi = int32(addr + int64(size) - l<<s.lineShift)
+		}
+		r2 := s.accessLine(cpu, l, 0, hi, write)
+		res.Latency += r2.Latency
+		res.Invalidations += r2.Invalidations
+		if r2.Miss != MissNone && res.Miss == MissNone {
+			res.Miss = r2.Miss
+		}
+		if r2.FalseSharing && !res.FalseSharing {
+			res.WriterAddr, res.WriterLen = r2.WriterAddr, r2.WriterLen
+		}
+		res.FalseSharing = res.FalseSharing || r2.FalseSharing
+	}
+	return res
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// accessLine handles a single-line access touching bytes [lo,hi).
+func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) AccessResult {
+	st := &s.perCPU[cpu]
+	st.Accesses++
+	s.global.Accesses++
+
+	setIdx := line & s.setMask
+	set := s.caches[cpu].sets[setIdx]
+
+	// Look up in this CPU's cache.
+	for i, w := range set {
+		if w.info.line != line {
+			continue
+		}
+		// Present. Bump LRU.
+		copy(set[i:], set[i+1:])
+		set[len(set)-1] = w
+		li := w.info
+		if !write {
+			st.Hits++
+			s.global.Hits++
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		}
+		switch w.state {
+		case Modified:
+			st.Hits++
+			s.global.Hits++
+			li.recordWrite(cpu, lo, hi)
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		case Exclusive:
+			set[len(set)-1].state = Modified
+			st.Hits++
+			s.global.Hits++
+			li.recordWrite(cpu, lo, hi)
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		default: // Shared: upgrade
+			lat, inv := s.invalidateOthers(cpu, li)
+			set[len(set)-1].state = Modified
+			li.owner = int32(cpu)
+			st.Upgrades++
+			s.global.Upgrades++
+			li.recordWrite(cpu, lo, hi)
+			if lat < s.topo.HitLatency {
+				lat = s.topo.HitLatency
+			}
+			return AccessResult{Latency: lat, Miss: MissUpgrade, Invalidations: inv, Supplier: -1}
+		}
+	}
+
+	// Miss path.
+	li := s.lines[line]
+	if li == nil {
+		li = &lineInfo{
+			line:        line,
+			sharers:     newBitset(s.words),
+			everCached:  newBitset(s.words),
+			invalidated: newBitset(s.words),
+			owner:       -1,
+			lastWriter:  -1,
+		}
+		s.lines[line] = li
+	}
+
+	res := AccessResult{Supplier: -1}
+	switch {
+	case !li.everCached.get(cpu):
+		res.Miss = MissCold
+		st.ColdMisses++
+		s.global.ColdMisses++
+	case li.invalidated.get(cpu):
+		res.Miss = MissCoherence
+		st.CohMisses++
+		s.global.CohMisses++
+		if li.hasLastWrite && int(li.lastWriter) != cpu && (hi <= li.lastWriteLo || lo >= li.lastWriteHi) {
+			res.FalseSharing = true
+			res.WriterAddr = line<<s.lineShift + int64(li.lastWriteLo)
+			res.WriterLen = li.lastWriteHi - li.lastWriteLo
+			st.FalseSharing++
+			s.global.FalseSharing++
+		} else if li.hasLastWrite && int(li.lastWriter) != cpu {
+			st.TrueSharing++
+			s.global.TrueSharing++
+		}
+	default:
+		res.Miss = MissReplacement
+		st.ReplMisses++
+		s.global.ReplMisses++
+	}
+
+	var newState State
+	if write {
+		// Read-for-ownership: fetch and invalidate everyone else.
+		fetchLat := s.fetchLatency(cpu, li, &res)
+		invLat, inv := s.invalidateOthers(cpu, li)
+		if invLat > fetchLat {
+			fetchLat = invLat
+		}
+		res.Latency = fetchLat
+		res.Invalidations = inv
+		newState = Modified
+		li.owner = int32(cpu)
+		li.recordWrite(cpu, lo, hi)
+	} else {
+		res.Latency = s.fetchLatency(cpu, li, &res)
+		if li.owner >= 0 {
+			// Downgrade the owner to Shared; Modified data is written back.
+			ownerCPU := int(li.owner)
+			if s.downgradeOwner(ownerCPU, line) {
+				st.Writebacks++
+				s.global.Writebacks++
+			}
+			li.owner = -1
+			newState = Shared
+		} else if !li.sharers.empty() {
+			newState = Shared
+		} else if s.cfg.Protocol == MSI {
+			// MSI has no Exclusive state: lone readers hold Shared and pay
+			// a real upgrade on their own first write.
+			newState = Shared
+		} else {
+			newState = Exclusive
+			li.owner = int32(cpu)
+		}
+	}
+
+	s.insert(cpu, setIdx, li, newState)
+	li.sharers.set(cpu)
+	li.everCached.set(cpu)
+	li.invalidated.clear(cpu)
+	return res
+}
+
+// fetchLatency computes where the line comes from and the resulting cost,
+// setting res.Supplier.
+func (s *System) fetchLatency(cpu int, li *lineInfo, res *AccessResult) int64 {
+	if li.owner >= 0 && int(li.owner) != cpu {
+		res.Supplier = int(li.owner)
+		return s.topo.TransferLatency(int(li.owner), cpu)
+	}
+	if nearest := li.sharers.nearest(cpu, s.topo); nearest >= 0 {
+		res.Supplier = nearest
+		return s.topo.TransferLatency(nearest, cpu)
+	}
+	s.perCPU[cpu].MemFetches++
+	s.global.MemFetches++
+	return s.topo.MemLatency(cpu, li.line)
+}
+
+// invalidateOthers removes all other CPUs' copies; returns the worst-case
+// round-trip latency and the invalidation count.
+func (s *System) invalidateOthers(cpu int, li *lineInfo) (int64, int) {
+	var worst int64
+	count := 0
+	li.sharers.forEach(func(other int) {
+		if other == cpu {
+			return
+		}
+		if s.removeLine(other, li.line) {
+			count++
+			li.invalidated.set(other)
+			if lat := s.topo.TransferLatency(cpu, other); lat > worst {
+				worst = lat
+			}
+		}
+		li.sharers.clear(other)
+	})
+	if count > 0 {
+		s.perCPU[cpu].Invalidations += uint64(count)
+		s.global.Invalidations += uint64(count)
+	}
+	if int(li.owner) != cpu {
+		li.owner = -1
+	}
+	return worst, count
+}
+
+// downgradeOwner transitions the owner's copy M/E -> S; reports whether a
+// writeback (from M) occurred.
+func (s *System) downgradeOwner(owner int, line int64) bool {
+	set := s.caches[owner].sets[line&s.setMask]
+	for i := range set {
+		if set[i].info.line == line {
+			wb := set[i].state == Modified
+			set[i].state = Shared
+			return wb
+		}
+	}
+	return false
+}
+
+// removeLine deletes the line from a CPU's cache; reports whether it was
+// present.
+func (s *System) removeLine(cpu int, line int64) bool {
+	set := s.caches[cpu].sets[line&s.setMask]
+	for i := range set {
+		if set[i].info.line == line {
+			s.caches[cpu].sets[line&s.setMask] = append(set[:i], set[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// insert places the line into the CPU's cache, evicting LRU on overflow.
+func (s *System) insert(cpu int, setIdx int64, li *lineInfo, st State) {
+	set := s.caches[cpu].sets[setIdx]
+	if len(set) >= s.cfg.Ways {
+		victim := set[0]
+		set = set[1:]
+		victim.info.sharers.clear(cpu)
+		// Eviction is not an invalidation: the next miss is a replacement
+		// miss, so do not touch victim.info.invalidated.
+		if int(victim.info.owner) == cpu {
+			victim.info.owner = -1
+			if victim.state == Modified {
+				s.perCPU[cpu].Writebacks++
+				s.global.Writebacks++
+			}
+		}
+	}
+	s.caches[cpu].sets[setIdx] = append(set, way{info: li, state: st})
+}
+
+// StateOf reports the MESI state of the line holding addr in the CPU's
+// cache (Invalid if absent). Intended for tests.
+func (s *System) StateOf(cpu int, addr int64) State {
+	line := addr >> s.lineShift
+	for _, w := range s.caches[cpu].sets[line&s.setMask] {
+		if w.info.line == line {
+			return w.state
+		}
+	}
+	return Invalid
+}
+
+// recordWrite remembers the byte range of the most recent write for
+// false-sharing classification.
+func (li *lineInfo) recordWrite(cpu int, lo, hi int32) {
+	li.lastWriter = int32(cpu)
+	li.lastWriteLo = lo
+	li.lastWriteHi = hi
+	li.hasLastWrite = true
+}
+
+// CheckInvariants verifies MESI invariants over the whole system: at most
+// one owner per line, owner implies no other sharers, directory matches the
+// caches. Tests call it after random access sequences.
+func (s *System) CheckInvariants() error {
+	// Rebuild the sharer view from the caches.
+	type holder struct {
+		cpu   int
+		state State
+	}
+	holders := make(map[int64][]holder)
+	for cpu := range s.caches {
+		for _, set := range s.caches[cpu].sets {
+			for _, w := range set {
+				holders[w.info.line] = append(holders[w.info.line], holder{cpu, w.state})
+			}
+		}
+	}
+	for line, hs := range holders {
+		li := s.lines[line]
+		if li == nil {
+			return fmt.Errorf("line %d cached but has no directory entry", line)
+		}
+		exclusive := 0
+		for _, h := range hs {
+			if h.state == Modified || h.state == Exclusive {
+				exclusive++
+				if int(li.owner) != h.cpu {
+					return fmt.Errorf("line %d: cpu %d holds %s but directory owner is %d", line, h.cpu, h.state, li.owner)
+				}
+			}
+			if !li.sharers.get(h.cpu) {
+				return fmt.Errorf("line %d: cpu %d holds copy but is not in sharer set", line, h.cpu)
+			}
+		}
+		if exclusive > 1 {
+			return fmt.Errorf("line %d has %d exclusive holders", line, exclusive)
+		}
+		if exclusive == 1 && len(hs) > 1 {
+			return fmt.Errorf("line %d owned exclusively but has %d holders", line, len(hs))
+		}
+		if n := li.sharers.count(); n != len(hs) {
+			return fmt.Errorf("line %d: directory says %d sharers, caches hold %d", line, n, len(hs))
+		}
+	}
+	// No directory entry may claim sharers that hold nothing.
+	for line, li := range s.lines {
+		if li.sharers.count() != len(holders[line]) {
+			return fmt.Errorf("line %d: stale sharers in directory", line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package concurrency
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/sampling"
+)
+
+// syntheticTrace builds a trace with explicit samples.
+func syntheticTrace(numCPUs int, samples []sampling.Sample) *sampling.Trace {
+	return &sampling.Trace{Samples: samples, IntervalCycles: 1, NumCPUs: numCPUs}
+}
+
+func mkSamples(slice int64, sliceCycles int64, cpu int, block ir.BlockID, n int) []sampling.Sample {
+	out := make([]sampling.Sample, n)
+	for i := range out {
+		out[i] = sampling.Sample{CPU: cpu, Block: block, ITC: slice*sliceCycles + int64(i)}
+	}
+	return out
+}
+
+func TestCCHandComputed(t *testing.T) {
+	const sliceCycles = 1000
+	// Slice 0: CPU0 runs B0 5 times, CPU1 runs B1 3 times.
+	var samples []sampling.Sample
+	samples = append(samples, mkSamples(0, sliceCycles, 0, 0, 5)...)
+	samples = append(samples, mkSamples(0, sliceCycles, 1, 1, 3)...)
+	// Slice 1: CPU0 runs B0 2 times, CPU1 runs B1 7 times.
+	samples = append(samples, mkSamples(1, sliceCycles, 0, 0, 2)...)
+	samples = append(samples, mkSamples(1, sliceCycles, 1, 1, 7)...)
+
+	m, err := Compute(syntheticTrace(2, samples), Options{SliceCycles: sliceCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CC(B0,B1) = min(5,3) + min(2,7) = 3 + 2 = 5.
+	if got := m.Value(0, 1); got != 5 {
+		t.Fatalf("CC(B0,B1) = %v, want 5", got)
+	}
+	// Same-block concurrency is zero here (each block runs on one CPU).
+	if got := m.Value(0, 0); got != 0 {
+		t.Fatalf("CC(B0,B0) = %v, want 0", got)
+	}
+}
+
+func TestCCSameProcessorExcluded(t *testing.T) {
+	const sliceCycles = 1000
+	// One CPU alternates between B0 and B1: no cross-processor concurrency.
+	var samples []sampling.Sample
+	samples = append(samples, mkSamples(0, sliceCycles, 0, 0, 4)...)
+	samples = append(samples, mkSamples(0, sliceCycles, 0, 1, 4)...)
+	m, err := Compute(syntheticTrace(2, samples), Options{SliceCycles: sliceCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(0, 1); got != 0 {
+		t.Fatalf("CC = %v, want 0 for single-processor execution", got)
+	}
+}
+
+func TestCCSameBlockTwoCPUs(t *testing.T) {
+	const sliceCycles = 1000
+	var samples []sampling.Sample
+	samples = append(samples, mkSamples(0, sliceCycles, 0, 7, 4)...)
+	samples = append(samples, mkSamples(0, sliceCycles, 1, 7, 6)...)
+	m, err := Compute(syntheticTrace(2, samples), Options{SliceCycles: sliceCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered pairs (0,1) and (1,0): min(4,6) + min(6,4) = 8.
+	if got := m.Value(7, 7); got != 8 {
+		t.Fatalf("CC(B7,B7) = %v, want 8", got)
+	}
+}
+
+func TestCCManyCPUs(t *testing.T) {
+	const sliceCycles = 1000
+	// 4 CPUs all run B0 twice; one runs B1 three times.
+	var samples []sampling.Sample
+	for cpu := 0; cpu < 4; cpu++ {
+		samples = append(samples, mkSamples(0, sliceCycles, cpu, 0, 2)...)
+	}
+	samples = append(samples, mkSamples(0, sliceCycles, 3, 1, 3)...)
+	m, err := Compute(syntheticTrace(4, samples), Options{SliceCycles: sliceCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CC(B0,B1): ordered pairs (m,n), m runs B0, n runs B1 (n=3 only),
+	// m != n: m in {0,1,2}: 3 × min(2,3)=2 -> 6.
+	if got := m.Value(0, 1); got != 6 {
+		t.Fatalf("CC(B0,B1) = %v, want 6", got)
+	}
+	// CC(B0,B0): 4 CPUs × 3 others × min(2,2)=2 -> 24.
+	if got := m.Value(0, 0); got != 24 {
+		t.Fatalf("CC(B0,B0) = %v, want 24", got)
+	}
+}
+
+func TestRelevantFilter(t *testing.T) {
+	const sliceCycles = 1000
+	var samples []sampling.Sample
+	samples = append(samples, mkSamples(0, sliceCycles, 0, 0, 5)...)
+	samples = append(samples, mkSamples(0, sliceCycles, 1, 1, 5)...)
+	samples = append(samples, mkSamples(0, sliceCycles, 2, 2, 5)...)
+	m, err := Compute(syntheticTrace(3, samples), Options{
+		SliceCycles: sliceCycles,
+		Relevant:    func(b ir.BlockID) bool { return b != 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value(0, 1) == 0 {
+		t.Fatal("relevant pair filtered out")
+	}
+	if m.Value(0, 2) != 0 || m.Value(1, 2) != 0 {
+		t.Fatal("irrelevant block leaked into the map")
+	}
+}
+
+func TestComputeNilTrace(t *testing.T) {
+	if _, err := Compute(nil, Options{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestTopPairsOrdering(t *testing.T) {
+	m := &Map{CC: map[Pair]float64{
+		MakePair(1, 2): 10,
+		MakePair(3, 4): 30,
+		MakePair(5, 6): 20,
+	}}
+	top := m.TopPairs(2)
+	if len(top) != 2 || top[0] != MakePair(3, 4) || top[1] != MakePair(5, 6) {
+		t.Fatalf("TopPairs = %+v", top)
+	}
+	all := m.TopPairs(100)
+	if len(all) != 3 {
+		t.Fatalf("TopPairs(100) = %d entries", len(all))
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(5, 2) != (Pair{A: 2, B: 5}) {
+		t.Fatal("MakePair not canonical")
+	}
+	if MakePair(2, 5) != MakePair(5, 2) {
+		t.Fatal("MakePair not symmetric")
+	}
+}
+
+func buildTinyProgram(t testing.TB) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("cc")
+	s := ir.NewStruct("S", ir.I64("a"))
+	p.AddStruct(s)
+	b := p.NewProc("f")
+	b.Read(s, "a", ir.Shared(0))
+	b.Write(s, "a", ir.Shared(0))
+	b.Done()
+	return p.MustFinalize()
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p := buildTinyProgram(t)
+	blocks := p.Blocks()
+	m := &Map{CC: map[Pair]float64{
+		MakePair(blocks[0].Global, blocks[1].Global): 12.5,
+		MakePair(blocks[1].Global, blocks[1].Global): 3,
+	}, SliceCycles: 1000}
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pair, v := range m.CC {
+		if math.Abs(got.CC[pair]-v) > 1e-9 {
+			t.Fatalf("pair %+v: %v vs %v", pair, got.CC[pair], v)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	p := buildTinyProgram(t)
+	cases := []string{
+		"f.c:1 f.c:2",         // missing value
+		"f.c:1 f.c:2 x",       // bad value
+		"nope:9 f.c:2 1.0",    // unknown line
+		"malformed f.c:2 1.0", // bad location
+		"f.c:zz f.c:2 1.0",    // bad line number
+	}
+	for _, c := range cases {
+		if _, err := ParseText(bytes.NewReader([]byte(c)), p); err == nil {
+			t.Fatalf("ParseText(%q) accepted", c)
+		}
+	}
+}
+
+func TestLineScores(t *testing.T) {
+	p := buildTinyProgram(t)
+	blocks := p.Blocks()
+	m := &Map{CC: map[Pair]float64{MakePair(blocks[0].Global, blocks[1].Global): 9}}
+	ls := m.LineScores(p)
+	if len(ls) != 1 {
+		t.Fatalf("LineScores = %d entries", len(ls))
+	}
+	for k, v := range ls {
+		if v != 9 {
+			t.Fatalf("score = %v", v)
+		}
+		if k[1].Less(k[0]) {
+			t.Fatal("line pair not canonical")
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package concurrency
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseText checks the concurrency-map parser never panics.
+func FuzzParseText(f *testing.F) {
+	f.Add("f.c:1 f.c:2 3.5\n")
+	f.Add("# c\nf.c:1 f.c:1 0\n")
+	f.Add("x y z")
+	f.Add("f.c:1 f.c:2")
+	f.Fuzz(func(t *testing.T, src string) {
+		p := buildTinyProgram(t)
+		_, _ = ParseText(bytes.NewReader([]byte(src)), p)
+	})
+}

@@ -1,0 +1,184 @@
+// Package core ties the analysis pipeline together into the paper's
+// semi-automatic layout tool (Figure 3): the compiler-side affinity graph,
+// the Caliper/PMU concurrency data, and the field mapping file combine into
+// a Field Layout Graph per struct; greedy clustering materializes a new
+// layout; and an advisory report explains the decision.
+//
+// Two layout modes mirror the evaluation:
+//
+//   - Suggest: the fully automatic layout of §5.1 — cluster the whole FLG
+//     and pack the clusters (what a compiler transformation would apply
+//     when legality allows).
+//   - Best: the incremental mode of §5.2 — keep only the important edges
+//     (all negative + top-20 positive), cluster that subgraph, and apply
+//     the resulting constraints as a minimal change to the original layout.
+package core
+
+import (
+	"fmt"
+
+	"structlayout/internal/affinity"
+	"structlayout/internal/cluster"
+	"structlayout/internal/concurrency"
+	"structlayout/internal/fieldmap"
+	"structlayout/internal/flg"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+	"structlayout/internal/locks"
+	"structlayout/internal/profile"
+	"structlayout/internal/report"
+	"structlayout/internal/sampling"
+)
+
+// Options configures the tool.
+type Options struct {
+	// LineSize is the coherence-line size (default 128, the Itanium L2).
+	LineSize int
+	// Affinity selects CycleGain heuristic variants.
+	Affinity affinity.Options
+	// FLG holds k1/k2 and the alias oracle.
+	FLG flg.Options
+	// SliceCycles is the concurrency interval (default 1 ms at 1.2 GHz,
+	// scaled down by callers running short simulations).
+	SliceCycles int64
+	// TopKPositive is the important-edge budget of the incremental mode
+	// (the paper uses 20).
+	TopKPositive int
+	// OneClusterPerLine packs each cluster onto its own line instead of
+	// first-fit packing with separation constraints.
+	OneClusterPerLine bool
+	// LockEntries, when non-empty, enables lock analysis (internal/locks,
+	// the paper's §7 future work): accesses provably serialized by a
+	// shared lock contribute no CycleLoss. The slice names the procedures
+	// threads may start in.
+	LockEntries []string
+}
+
+func (o *Options) fillDefaults() {
+	if o.LineSize == 0 {
+		o.LineSize = 128
+	}
+	if o.SliceCycles == 0 {
+		o.SliceCycles = concurrency.DefaultSliceCycles
+	}
+	if o.TopKPositive == 0 {
+		o.TopKPositive = 20
+	}
+}
+
+// Analysis is everything the tool needs about one program: the collected
+// profile and concurrency data plus the derived field mapping file.
+type Analysis struct {
+	Prog        *ir.Program
+	Profile     *profile.Profile
+	Concurrency *concurrency.Map
+	FMF         *fieldmap.File
+	Locks       *locks.Info
+	Opts        Options
+}
+
+// NewAnalysis assembles an analysis from collected data. trace may be nil
+// (no concurrency collection: the tool degrades to locality-only layout,
+// like the CGO'06 single-threaded advisor).
+func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, opts Options) (*Analysis, error) {
+	opts.fillDefaults()
+	if prog == nil || pf == nil {
+		return nil, fmt.Errorf("core: nil program or profile")
+	}
+	fmf := fieldmap.Build(prog)
+	a := &Analysis{Prog: prog, Profile: pf, FMF: fmf, Opts: opts}
+	if len(opts.LockEntries) > 0 && opts.FLG.ExclusionOracle == nil {
+		info, err := locks.Analyze(prog, opts.LockEntries)
+		if err != nil {
+			return nil, err
+		}
+		a.Locks = info
+		a.Opts.FLG.ExclusionOracle = info.MutualExclusion()
+	}
+	if trace != nil {
+		// Restrict concurrency to blocks that touch struct fields: the
+		// paper's pipeline only correlates lines present in the FMF.
+		relevant := func(b ir.BlockID) bool { return len(fmf.AtBlock(b)) > 0 }
+		cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: opts.SliceCycles, Relevant: relevant})
+		if err != nil {
+			return nil, err
+		}
+		a.Concurrency = cm
+	}
+	return a, nil
+}
+
+// Suggestion is the tool's output for one struct.
+type Suggestion struct {
+	Struct *ir.StructType
+	// Graph is the FLG the layouts derive from.
+	Graph *flg.Graph
+	// Auto is the fully automatic clustering layout (§5.1).
+	Auto *layout.Layout
+	// AutoClusters is the partition behind Auto.
+	AutoClusters cluster.Result
+	// Report is the advisory text.
+	Report *report.Report
+}
+
+// BuildFLG constructs the struct's Field Layout Graph from the analysis.
+func (a *Analysis) BuildFLG(structName string) (*flg.Graph, error) {
+	st := a.Prog.Struct(structName)
+	if st == nil {
+		return nil, fmt.Errorf("core: unknown struct %q", structName)
+	}
+	ag := affinity.Build(a.Prog, a.Profile, st, a.Opts.Affinity)
+	return flg.Build(ag, a.Concurrency, a.FMF, a.Opts.FLG), nil
+}
+
+// Suggest runs the automatic pipeline for one struct.
+func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggestion, error) {
+	g, err := a.BuildFLG(structName)
+	if err != nil {
+		return nil, err
+	}
+	res := cluster.Greedy(g, a.Opts.LineSize)
+	lay, err := layout.PackClusters(g.Struct, "flg-auto", res.Clusters, a.Opts.LineSize, layout.PackOptions{
+		OneClusterPerLine: a.Opts.OneClusterPerLine,
+		Separate:          cluster.SeparatePredicate(g, res.Clusters),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	return &Suggestion{
+		Struct:       g.Struct,
+		Graph:        g,
+		Auto:         lay,
+		AutoClusters: res,
+		Report: &report.Report{
+			Graph:      g,
+			Clustering: res,
+			Suggested:  lay,
+			Original:   original,
+			TopEdges:   10,
+		},
+	}, nil
+}
+
+// Best runs the incremental mode of §5.2: important edges only, cluster the
+// subgraph, and alter the original layout so the constraints are met.
+func (a *Analysis) Best(structName string, original *layout.Layout) (*layout.Layout, cluster.Result, error) {
+	g, err := a.BuildFLG(structName)
+	if err != nil {
+		return nil, cluster.Result{}, err
+	}
+	important := g.ImportantEdges(a.Opts.TopKPositive)
+	sub := g.Subgraph(important)
+	res := cluster.GreedySubgraph(sub, a.Opts.LineSize)
+	lay, err := layout.ApplyConstraints(original, "incremental", res.Clusters)
+	if err != nil {
+		return nil, cluster.Result{}, err
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, cluster.Result{}, err
+	}
+	return lay, res, nil
+}

@@ -1,0 +1,153 @@
+// Package driver runs programs parsed from the irtext DSL: it stands in
+// for the build-and-run harness around the paper's tool when the input is
+// a user-supplied program rather than the built-in SDET workload. Given a
+// parsed file (program + arena and thread declarations), it performs the
+// collection phase (profiled, PMU-sampled run) and evaluation runs under
+// arbitrary layouts.
+package driver
+
+import (
+	"fmt"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/exec"
+	"structlayout/internal/irtext"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/sampling"
+)
+
+// Config parameterizes runs of a parsed file.
+type Config struct {
+	// Topo is the machine to run on.
+	Topo *machine.Topology
+	// Cache is the per-CPU cache geometry (default: the Itanium 6 MB).
+	Cache coherence.Config
+	// Seed drives branches, random memory patterns and sampling.
+	Seed int64
+	// Sampling enables PMU collection when non-nil.
+	Sampling *sampling.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cache.LineSize == 0 {
+		c.Cache = coherence.DefaultItanium()
+	}
+}
+
+// LineSize returns the coherence-line size runs will use.
+func (c Config) LineSize() int {
+	if c.Cache.LineSize == 0 {
+		return int(coherence.DefaultItanium().LineSize)
+	}
+	return int(c.Cache.LineSize)
+}
+
+// OriginalLayouts materializes declaration-order layouts for every declared
+// arena.
+func OriginalLayouts(f *irtext.File, lineSize int) map[string]*layout.Layout {
+	out := make(map[string]*layout.Layout, len(f.Arenas))
+	for name := range f.Arenas {
+		out[name] = layout.Original(f.Prog.Struct(name), lineSize)
+	}
+	return out
+}
+
+// Run executes the file's declared threads under the given layouts (keyed
+// by struct name; missing structs get their declaration-order layout).
+func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.Result, error) {
+	cfg.fillDefaults()
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("driver: nil topology")
+	}
+	if len(f.Threads) == 0 {
+		return nil, fmt.Errorf("driver: program %s declares no threads", f.Prog.Name)
+	}
+	r, err := exec.NewRunner(f.Prog, exec.Config{
+		Topo:     cfg.Topo,
+		Cache:    cfg.Cache,
+		Seed:     cfg.Seed,
+		Sampling: cfg.Sampling,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(cfg.Cache.LineSize)
+	// Every struct accessed needs an arena; declared arenas use their
+	// count, accessed-but-undeclared structs default to one instance.
+	declared := make(map[string]bool, len(f.Arenas))
+	for name, count := range f.Arenas {
+		lay := layouts[name]
+		if lay == nil {
+			lay = layout.Original(f.Prog.Struct(name), lineSize)
+		}
+		if err := r.DefineArena(lay, count); err != nil {
+			return nil, err
+		}
+		declared[name] = true
+	}
+	for _, b := range f.Prog.Blocks() {
+		for _, in := range b.FieldInstrs() {
+			if declared[in.Struct.Name] {
+				continue
+			}
+			lay := layouts[in.Struct.Name]
+			if lay == nil {
+				lay = layout.Original(in.Struct, lineSize)
+			}
+			if err := r.DefineArena(lay, 1); err != nil {
+				return nil, err
+			}
+			declared[in.Struct.Name] = true
+		}
+	}
+	for _, td := range f.Threads {
+		if td.CPU >= cfg.Topo.NumCPUs() {
+			// Skip threads beyond this machine's CPU count, so one file
+			// can target several machine sizes.
+			continue
+		}
+		if err := r.AddThread(td.CPU, td.Proc, td.Params, td.Iters); err != nil {
+			return nil, err
+		}
+	}
+	return r.Run()
+}
+
+// Collect performs the tool's data-collection phase for a parsed file:
+// one sampled run under declaration-order (or provided) layouts.
+func Collect(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.Result, error) {
+	cfg.fillDefaults()
+	if cfg.Sampling == nil {
+		cfg.Sampling = &sampling.Config{
+			IntervalCycles: 2500,
+			DriftMaxCycles: 8,
+			LossProb:       0.02,
+			Seed:           cfg.Seed + 17,
+		}
+	}
+	return Run(f, cfg, layouts)
+}
+
+// ValidateThreads checks the declarations against a machine: duplicate
+// CPUs and out-of-range CPUs that would silently never run.
+func ValidateThreads(f *irtext.File, topo *machine.Topology) error {
+	seen := make(map[int]bool)
+	runnable := 0
+	for _, td := range f.Threads {
+		if td.CPU < 0 {
+			return fmt.Errorf("driver: thread on negative cpu %d", td.CPU)
+		}
+		if seen[td.CPU] {
+			return fmt.Errorf("driver: duplicate thread on cpu %d", td.CPU)
+		}
+		seen[td.CPU] = true
+		if td.CPU < topo.NumCPUs() {
+			runnable++
+		}
+	}
+	if runnable == 0 {
+		return fmt.Errorf("driver: no declared thread fits on %s (%d CPUs)", topo.Name, topo.NumCPUs())
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structlayout/internal/core"
+	"structlayout/internal/irtext"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+)
+
+const demoProgram = `
+program demo
+
+struct conn {
+    c_state  i64
+    c_events i64
+    c_rx     i64
+    c_cold0  i64
+    c_cold1  i64
+}
+
+struct side { s_a i64 }
+
+proc poller {
+    loop 200 {
+        read conn.c_state loopvar
+        read conn.c_events loopvar
+        compute 20
+    }
+    read side.s_a shared 0
+}
+
+proc worker {
+    loop 200 {
+        write conn.c_rx shared 0
+        compute 50
+    }
+}
+
+proc main0 { call poller  call worker }
+
+arena conn 256
+thread 0 main0 iters 3
+thread 1 main0 iters 3
+thread 2 main0 iters 3
+thread 3 main0 iters 3
+`
+
+func parseDemo(t testing.TB) *irtext.File {
+	t.Helper()
+	f, err := irtext.Parse(demoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunParsedProgram(t *testing.T) {
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 3}
+	res, err := Run(f, cfg, OriginalLayouts(f, cfg.LineSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", res.Completed)
+	}
+	if res.Coherence.Accesses == 0 {
+		t.Fatal("no memory traffic")
+	}
+}
+
+func TestUndeclaredStructGetsDefaultArena(t *testing.T) {
+	// struct side has no arena declaration; Run must still work.
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 1}
+	if _, err := Run(f, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadsBeyondMachineSkipped(t *testing.T) {
+	src := `
+program p
+proc f { compute 10 }
+thread 0 f iters 1
+thread 500 f iters 1
+`
+	f, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f, Config{Topo: machine.Bus4()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d; the out-of-range thread should be skipped", res.Completed)
+	}
+}
+
+func TestCollectThenTool(t *testing.T) {
+	// Full DSL-to-advisory path: parse, collect, analyze, suggest.
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 9}
+	res, err := Collect(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Samples) == 0 {
+		t.Fatal("collection produced no samples")
+	}
+	analysis, err := core.NewAnalysis(f.Prog, res.Profile, res.Trace, core.Options{
+		LineSize:    cfg.LineSize(),
+		SliceCycles: 25000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Prog.Struct("conn")
+	sugg, err := analysis.Suggest("conn", layout.Original(st, cfg.LineSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pollers' walk pair clusters; the writer's field separates.
+	if !sugg.Auto.SameLine(st.FieldIndex("c_state"), st.FieldIndex("c_events")) {
+		t.Fatalf("walk pair split:\n%s", sugg.Auto.Dump())
+	}
+	if sugg.Auto.SameLine(st.FieldIndex("c_rx"), st.FieldIndex("c_state")) {
+		t.Fatalf("written field not separated:\n%s", sugg.Auto.Dump())
+	}
+}
+
+func TestValidateThreads(t *testing.T) {
+	f := parseDemo(t)
+	if err := ValidateThreads(f, machine.Bus4()); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := irtext.Parse(`
+program p
+proc f { compute 1 }
+thread 0 f iters 1
+thread 0 f iters 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateThreads(dup, machine.Bus4()); err == nil {
+		t.Fatal("duplicate cpu accepted")
+	}
+	far, err := irtext.Parse(`
+program p
+proc f { compute 1 }
+thread 100 f iters 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateThreads(far, machine.Bus4()); err == nil {
+		t.Fatal("unrunnable thread set accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f := parseDemo(t)
+	if _, err := Run(f, Config{}, nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	noThreads, err := irtext.Parse(`program p
+proc f { compute 1 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(noThreads, Config{Topo: machine.Bus4()}, nil); err == nil {
+		t.Fatal("threadless program accepted")
+	}
+}
+
+// TestMemcachedProgram runs the shipped memcached-like DSL program through
+// the full pipeline and checks the tool's decisions: the hash-chain walk
+// pair stays together, and both the request counter (written by every
+// worker) and the LRU clock (written concurrently with the walk) leave the
+// walk line.
+func TestMemcachedProgram(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "memcached.slp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := irtext.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Topo: machine.Bus4(), Seed: 5}
+	res, err := Collect(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := core.NewAnalysis(f.Prog, res.Profile, res.Trace, core.Options{
+		LineSize:    cfg.LineSize(),
+		SliceCycles: res.Cycles/64 + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Prog.Struct("item")
+	sugg, err := analysis.Suggest("item", layout.Original(st, cfg.LineSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := sugg.Auto
+	hash, next := st.FieldIndex("it_key_hash"), st.FieldIndex("it_next")
+	hits, lru := st.FieldIndex("it_hits"), st.FieldIndex("it_lru_clock")
+	if !lay.SameLine(hash, next) {
+		t.Fatalf("walk pair split:\n%s", lay.Dump())
+	}
+	if lay.SameLine(hits, hash) || lay.SameLine(hits, next) {
+		t.Fatalf("stats counter left in the walk line:\n%s", lay.Dump())
+	}
+	if lay.SameLine(lru, hash) || lay.SameLine(lru, next) {
+		t.Fatalf("LRU clock left in the walk line:\n%s", lay.Dump())
+	}
+	// The layout change pays off end to end on this machine.
+	before, err := Run(f, Config{Topo: cfg.Topo, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Run(f, Config{Topo: cfg.Topo, Seed: 11}, map[string]*layout.Layout{"item": lay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("suggested layout did not help: before=%d after=%d", before.Cycles, after.Cycles)
+	}
+}

@@ -1,0 +1,376 @@
+// Package exec is the multiprocessor execution engine: it interprets IR
+// programs on N simulated CPUs over the coherence simulator, under a global
+// virtual clock. It stands in for the paper's native runs on HP-UX
+// hardware, producing everything the paper's pipeline collects from a run:
+//
+//   - precise block/loop execution counts (the PBO profile, §4),
+//   - PMU-style samples with synchronized timestamps (Caliper, §4.2),
+//   - total cycles, from which the SDET-style throughput metric derives,
+//   - per-field coherence statistics (ground truth for evaluation only).
+//
+// Scheduling is deterministic: the runnable thread with the smallest local
+// time executes next (CPU id breaks ties), so identical inputs and seeds
+// replay identical interleavings. Field addresses are resolved through a
+// layout per struct, with instances placed at cache-line-aligned bases the
+// way the HP-UX arena allocator does (§2) — re-running the same workload
+// under a different layout is exactly the paper's experiment.
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/profile"
+	"structlayout/internal/sampling"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Topo is the machine to simulate.
+	Topo *machine.Topology
+	// Cache is the per-CPU cache geometry.
+	Cache coherence.Config
+	// Seed drives branch draws, random memory patterns and sampling.
+	Seed int64
+	// Sampling enables PMU-style collection when non-nil.
+	Sampling *sampling.Config
+	// CallOverhead is charged per procedure call (default 8 cycles).
+	CallOverhead int64
+	// BranchCost is charged per synthetic control block (default 1 cycle).
+	BranchCost int64
+	// LockHandoff is the extra cost of waking a lock waiter beyond the
+	// cache-to-cache transfer of the lock word (default 20 cycles).
+	LockHandoff int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.CallOverhead == 0 {
+		c.CallOverhead = 8
+	}
+	if c.BranchCost == 0 {
+		c.BranchCost = 1
+	}
+	if c.LockHandoff == 0 {
+		c.LockHandoff = 20
+	}
+}
+
+// FieldRef names a field for statistics attribution.
+type FieldRef struct {
+	Struct string
+	Field  int
+}
+
+// FieldStat aggregates what one field's accesses cost during a run.
+type FieldStat struct {
+	Accesses  uint64
+	Misses    uint64
+	CohMisses uint64
+	Upgrades  uint64
+	// FalseSharing counts events where this field's access was the victim.
+	FalseSharing uint64
+	// CausedFalseSharing counts events where a write to this field
+	// invalidated a victim's disjoint bytes (the perf-c2c "HITM source"
+	// view: the lock or counter responsible, not just its victims).
+	CausedFalseSharing uint64
+	StallCycles        int64
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Cycles is the virtual time at which the last thread finished.
+	Cycles int64
+	// Completed counts finished top-level procedure iterations ("scripts").
+	Completed int64
+	// Profile holds precise block and loop counts.
+	Profile *profile.Profile
+	// Trace holds PMU samples (nil when sampling was disabled).
+	Trace *sampling.Trace
+	// Coherence aggregates the cache simulator's global counters.
+	Coherence coherence.Stats
+	// Fields attributes coherence behaviour to struct fields.
+	Fields map[FieldRef]*FieldStat
+	// ThreadCycles is each thread's finish time.
+	ThreadCycles []int64
+}
+
+// arena is the line-aligned backing store of one struct type's instances.
+type arena struct {
+	base   int64
+	count  int
+	stride int64
+	lay    *layout.Layout
+}
+
+// regionAlloc places one ir.Region in the address space.
+type regionAlloc struct {
+	base      int64
+	size      int64
+	perThread bool
+	stride    int64 // distance between per-thread copies
+}
+
+// lockKey identifies a spinlock: a field of a concrete struct instance.
+type lockKey struct {
+	structName string
+	instance   int
+	field      int
+}
+
+// lockState tracks a spinlock's holder and FIFO waiters.
+type lockState struct {
+	holder  *thread
+	waiters []*thread
+}
+
+// Runner executes one configuration of one program. Build it, define
+// arenas/layouts and threads, then call Run once.
+type Runner struct {
+	prog *ir.Program
+	cfg  Config
+
+	coh       *coherence.System
+	collector *sampling.Collector
+	prof      *profile.Profile
+
+	arenas  map[string]*arena
+	regions map[string]*regionAlloc
+	nextAdr int64
+
+	threads []*thread
+	cpuUsed map[int]bool
+	locks   map[lockKey]*lockState
+	fields  map[FieldRef]*FieldStat
+	woken   []*thread // threads released by the current step's unlock
+
+	completed int64
+	ran       bool
+}
+
+// NewRunner builds a runner. Layouts must cover every struct the program
+// accesses; arena sizes are set via DefineArena before AddThread.
+func NewRunner(prog *ir.Program, cfg Config) (*Runner, error) {
+	cfg.fillDefaults()
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("exec: nil topology")
+	}
+	coh, err := coherence.NewSystem(cfg.Topo, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		prog:    prog,
+		cfg:     cfg,
+		coh:     coh,
+		prof:    profile.New(prog),
+		arenas:  make(map[string]*arena),
+		regions: make(map[string]*regionAlloc),
+		cpuUsed: make(map[int]bool),
+		locks:   make(map[lockKey]*lockState),
+		fields:  make(map[FieldRef]*FieldStat),
+		nextAdr: cfg.Cache.LineSize, // keep address 0 unused
+	}
+	if cfg.Sampling != nil {
+		sc := *cfg.Sampling
+		if sc.Seed == 0 {
+			sc.Seed = cfg.Seed + 1
+		}
+		r.collector, err = sampling.NewCollector(sc, cfg.Topo.NumCPUs())
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Regions are allocated eagerly; per-thread regions reserve one copy
+	// per possible CPU.
+	for _, reg := range prog.Regions {
+		stride := alignUp(reg.Bytes, cfg.Cache.LineSize)
+		ra := &regionAlloc{size: reg.Bytes, perThread: reg.PerThread, stride: stride}
+		copies := int64(1)
+		if reg.PerThread {
+			copies = int64(cfg.Topo.NumCPUs())
+		}
+		ra.base = r.allocate(stride * copies)
+		r.regions[reg.Name] = ra
+	}
+	return r, nil
+}
+
+// allocate reserves n bytes of line-aligned address space with one guard
+// line of separation, so distinct allocations never falsely share.
+func (r *Runner) allocate(n int64) int64 {
+	base := r.nextAdr
+	r.nextAdr = alignUp(base+n, r.cfg.Cache.LineSize) + r.cfg.Cache.LineSize
+	return base
+}
+
+func alignUp(n, a int64) int64 { return (n + a - 1) / a * a }
+
+// DefineArena creates count line-aligned instances of the struct laid out
+// by lay. Must be called before threads run; one arena per struct.
+func (r *Runner) DefineArena(lay *layout.Layout, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("exec: arena for %s with count %d", lay.Struct.Name, count)
+	}
+	if int64(lay.LineSize) != r.cfg.Cache.LineSize {
+		return fmt.Errorf("exec: layout %s uses line size %d, cache uses %d", lay.Name, lay.LineSize, r.cfg.Cache.LineSize)
+	}
+	name := lay.Struct.Name
+	if _, dup := r.arenas[name]; dup {
+		return fmt.Errorf("exec: arena for %s already defined", name)
+	}
+	if err := lay.Validate(); err != nil {
+		return err
+	}
+	// Cache coloring: pad the instance stride to an odd number of lines so
+	// that same-offset lines of successive instances spread over every
+	// cache set (gcd(odd, 2^k) = 1). Without this, an even line count
+	// aliases all instances onto a fraction of the sets and conflict
+	// misses would punish or reward layouts for their *size parity*, an
+	// artifact real arena allocators avoid the same way.
+	lines := int64(lay.NumLines())
+	if lines%2 == 0 {
+		lines++
+	}
+	stride := lines * r.cfg.Cache.LineSize
+	a := &arena{count: count, stride: stride, lay: lay}
+	a.base = r.allocate(stride * int64(count))
+	r.arenas[name] = a
+	return nil
+}
+
+// AddThread binds a thread to a CPU running the named procedure iterations
+// times with the given parameter vector. One thread per CPU.
+func (r *Runner) AddThread(cpu int, proc string, params []int, iterations int64) error {
+	if cpu < 0 || cpu >= r.cfg.Topo.NumCPUs() {
+		return fmt.Errorf("exec: cpu %d out of range", cpu)
+	}
+	if r.cpuUsed[cpu] {
+		return fmt.Errorf("exec: cpu %d already has a thread", cpu)
+	}
+	pr := r.prog.Proc(proc)
+	if pr == nil {
+		return fmt.Errorf("exec: unknown procedure %q", proc)
+	}
+	if iterations <= 0 {
+		return fmt.Errorf("exec: thread needs positive iterations")
+	}
+	t := &thread{
+		id:      len(r.threads),
+		cpu:     cpu,
+		entry:   pr,
+		params:  append([]int(nil), params...),
+		iters:   iterations,
+		rng:     rand.New(rand.NewSource(r.cfg.Seed*7919 + int64(cpu)*104729 + 13)),
+		cursors: make(map[string]int64),
+	}
+	t.pushSeq(pr.Tree)
+	r.cpuUsed[cpu] = true
+	r.threads = append(r.threads, t)
+	return nil
+}
+
+// Run executes to completion and returns the result. A runner runs once.
+func (r *Runner) Run() (*Result, error) {
+	if r.ran {
+		return nil, fmt.Errorf("exec: runner already ran")
+	}
+	r.ran = true
+	if len(r.threads) == 0 {
+		return nil, fmt.Errorf("exec: no threads")
+	}
+	// Every struct accessed must have an arena; verify up front.
+	for _, b := range r.prog.Blocks() {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpField, ir.OpLock, ir.OpUnlock:
+				if r.arenas[in.Struct.Name] == nil {
+					return nil, fmt.Errorf("exec: no arena for struct %s accessed in %s", in.Struct.Name, b.Name())
+				}
+			}
+		}
+	}
+
+	q := &threadQueue{}
+	for _, t := range r.threads {
+		heap.Push(q, t)
+	}
+	parked := 0
+	for q.Len() > 0 {
+		t := heap.Pop(q).(*thread)
+		limit := int64(1<<62 - 1)
+		if q.Len() > 0 {
+			limit = (*q)[0].time
+		}
+		for {
+			if err := r.step(t); err != nil {
+				return nil, err
+			}
+			if t.done || t.parked {
+				break
+			}
+			if t.time > limit {
+				break
+			}
+		}
+		// Wake anything the step released before re-queueing.
+		for _, w := range r.woken {
+			w.parked = false
+			parked--
+			heap.Push(q, w)
+		}
+		r.woken = r.woken[:0]
+		if t.parked {
+			parked++
+			continue
+		}
+		if !t.done {
+			heap.Push(q, t)
+		}
+	}
+	if parked > 0 {
+		return nil, fmt.Errorf("exec: deadlock: %d threads still parked", parked)
+	}
+
+	res := &Result{
+		Completed:    r.completed,
+		Profile:      r.prof,
+		Coherence:    r.coh.GlobalStats(),
+		Fields:       r.fields,
+		ThreadCycles: make([]int64, len(r.threads)),
+	}
+	for i, t := range r.threads {
+		res.ThreadCycles[i] = t.time
+		if t.time > res.Cycles {
+			res.Cycles = t.time
+		}
+	}
+	if r.collector != nil {
+		res.Trace = r.collector.Finish()
+	}
+	return res, nil
+}
+
+// threadQueue is a min-heap on (time, id).
+type threadQueue []*thread
+
+func (q threadQueue) Len() int { return len(q) }
+func (q threadQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].id < q[j].id
+}
+func (q threadQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *threadQueue) Push(x interface{}) { *q = append(*q, x.(*thread)) }
+func (q *threadQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	*q = old[:n-1]
+	return t
+}

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"structlayout/internal/ir"
+)
+
+// FalseSharingRow is one line of the false-sharing report.
+type FalseSharingRow struct {
+	Ref  FieldRef
+	Name string
+	Stat FieldStat
+}
+
+// TopFalseSharing ranks fields by observed false-sharing events (ground
+// truth from the coherence simulator), breaking ties by stall cycles. This
+// is the detector's view — what a tool like perf c2c shows — whereas the
+// layout pipeline must *predict* the same hazards from CodeConcurrency
+// before they happen.
+func (r *Result) TopFalseSharing(p *ir.Program, n int) []FalseSharingRow {
+	rows := make([]FalseSharingRow, 0, len(r.Fields))
+	for ref, fs := range r.Fields {
+		if fs.FalseSharing == 0 && fs.CohMisses == 0 && fs.Upgrades == 0 && fs.CausedFalseSharing == 0 {
+			continue
+		}
+		name := ref.Struct
+		if st := p.Struct(ref.Struct); st != nil && ref.Field < len(st.Fields) {
+			name = ref.Struct + "." + st.Fields[ref.Field].Name
+		}
+		rows = append(rows, FalseSharingRow{Ref: ref, Name: name, Stat: *fs})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Stat, rows[j].Stat
+		av, bv := a.FalseSharing+a.CausedFalseSharing, b.FalseSharing+b.CausedFalseSharing
+		if av != bv {
+			return av > bv
+		}
+		if a.StallCycles != b.StallCycles {
+			return a.StallCycles > b.StallCycles
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// FalseSharingReport renders the top-n offenders.
+func (r *Result) FalseSharingReport(p *ir.Program, n int) string {
+	rows := r.TopFalseSharing(p, n)
+	if len(rows) == 0 {
+		return "no coherence traffic attributed to struct fields\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %10s %10s %10s %10s %10s %14s\n",
+		"field", "accesses", "coh-miss", "upgrades", "fs-victim", "fs-cause", "stall-cycles")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-32s %10d %10d %10d %10d %10d %14d\n",
+			row.Name, row.Stat.Accesses, row.Stat.CohMisses, row.Stat.Upgrades,
+			row.Stat.FalseSharing, row.Stat.CausedFalseSharing, row.Stat.StallCycles)
+	}
+	return sb.String()
+}

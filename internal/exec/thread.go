@@ -1,0 +1,387 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/ir"
+)
+
+// frameKind discriminates interpreter stack frames.
+type frameKind uint8
+
+const (
+	fSeq frameKind = iota
+	fLoop
+	fIf
+	fBlock
+)
+
+// frame is one entry of a thread's explicit interpreter stack. Threads must
+// be suspendable between any two instructions (the scheduler interleaves by
+// virtual time), so the interpreter cannot use Go recursion.
+type frame struct {
+	kind frameKind
+
+	nodes []ir.ExecNode // fSeq
+	idx   int           // fSeq: next node; fBlock: next instruction
+
+	loop *ir.ExecLoop // fLoop
+	iter int64        // fLoop: next iteration index
+
+	ifn *ir.ExecIf // fIf (phase: arm already pushed; next step counts join)
+
+	block *ir.BasicBlock // fBlock
+}
+
+// thread is one simulated kernel thread pinned to a CPU.
+type thread struct {
+	id     int
+	cpu    int
+	entry  *ir.Procedure
+	params []int
+	iters  int64
+	rng    *rand.Rand
+
+	time     int64
+	stack    []frame
+	loopVals []int64          // innermost loop induction values, last = innermost
+	cursors  map[string]int64 // per-region streaming cursors
+	curBlock *ir.BasicBlock
+
+	done   bool
+	parked bool
+}
+
+func (t *thread) pushSeq(nodes []ir.ExecNode) {
+	t.stack = append(t.stack, frame{kind: fSeq, nodes: nodes})
+}
+
+// step advances the thread by one interpreter action (typically one
+// instruction). It updates profile counts, virtual time, coherence state
+// and samples as side effects.
+func (r *Runner) step(t *thread) error {
+	if len(t.stack) == 0 {
+		// One top-level iteration ("script") finished.
+		r.completed++
+		t.iters--
+		if t.iters <= 0 {
+			t.done = true
+			return nil
+		}
+		t.pushSeq(t.entry.Tree)
+		return nil
+	}
+	f := &t.stack[len(t.stack)-1]
+	switch f.kind {
+	case fSeq:
+		if f.idx >= len(f.nodes) {
+			t.pop()
+			return nil
+		}
+		n := f.nodes[f.idx]
+		f.idx++
+		switch n := n.(type) {
+		case *ir.ExecBlock:
+			r.prof.IncrBlock(n.Block.Global)
+			t.curBlock = n.Block
+			if len(n.Block.Instrs) == 0 {
+				t.time += r.cfg.BranchCost
+				r.sample(t)
+			} else {
+				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block})
+			}
+		case *ir.ExecLoop:
+			r.prof.AddLoop(n.Loop.Global, n.Count)
+			t.stack = append(t.stack, frame{kind: fLoop, loop: n})
+			t.loopVals = append(t.loopVals, 0)
+		case *ir.ExecIf:
+			r.prof.IncrBlock(n.Cond.Global)
+			t.curBlock = n.Cond
+			t.time += r.cfg.BranchCost
+			r.sample(t)
+			arm := n.Then
+			if t.rng.Float64() >= n.Prob {
+				arm = n.Else
+			}
+			t.stack = append(t.stack, frame{kind: fIf, ifn: n})
+			t.pushSeq(arm)
+		default:
+			return fmt.Errorf("exec: unknown node %T", n)
+		}
+	case fLoop:
+		// Each visit is one header test.
+		r.prof.IncrBlock(f.loop.Loop.Header.Global)
+		t.curBlock = f.loop.Loop.Header
+		t.time += r.cfg.BranchCost
+		r.sample(t)
+		if f.iter < f.loop.Count {
+			t.loopVals[len(t.loopVals)-1] = f.iter
+			f.iter++
+			t.pushSeq(f.loop.Body)
+		} else {
+			t.loopVals = t.loopVals[:len(t.loopVals)-1]
+			t.pop()
+		}
+	case fIf:
+		r.prof.IncrBlock(f.ifn.Join.Global)
+		t.curBlock = f.ifn.Join
+		t.time += r.cfg.BranchCost
+		r.sample(t)
+		t.pop()
+	case fBlock:
+		if f.idx >= len(f.block.Instrs) {
+			t.pop()
+			return nil
+		}
+		in := f.block.Instrs[f.idx]
+		f.idx++
+		return r.execInstr(t, in)
+	}
+	return nil
+}
+
+func (t *thread) pop() { t.stack = t.stack[:len(t.stack)-1] }
+
+// sample lets the collector observe the thread's new time.
+func (r *Runner) sample(t *thread) {
+	if r.collector != nil {
+		r.collector.Tick(t.cpu, t.time, t.curBlock)
+	}
+}
+
+// resolveInstance maps an instance expression to a concrete index.
+func (r *Runner) resolveInstance(t *thread, a *arena, e ir.InstExpr) (int, error) {
+	switch e.Kind {
+	case ir.InstShared:
+		return e.Index % a.count, nil
+	case ir.InstPerCPU:
+		return t.cpu % a.count, nil
+	case ir.InstParam:
+		if e.Index >= len(t.params) {
+			return 0, fmt.Errorf("exec: thread %d has no param %d", t.id, e.Index)
+		}
+		return t.params[e.Index] % a.count, nil
+	case ir.InstLoopVar:
+		if len(t.loopVals) == 0 {
+			return 0, fmt.Errorf("exec: loopvar instance outside any loop")
+		}
+		return int(t.loopVals[len(t.loopVals)-1] % int64(a.count)), nil
+	default:
+		return 0, fmt.Errorf("exec: unknown instance kind %d", e.Kind)
+	}
+}
+
+// fieldAddr computes the address and size of a field access.
+func (r *Runner) fieldAddr(t *thread, in ir.Instr) (int64, int, error) {
+	a := r.arenas[in.Struct.Name]
+	idx, err := r.resolveInstance(t, a, in.Inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a.base + int64(idx)*a.stride + int64(a.lay.Offsets[in.Field]), in.Struct.Fields[in.Field].Size, nil
+}
+
+// execInstr runs one instruction, charging latency and recording stats.
+func (r *Runner) execInstr(t *thread, in ir.Instr) error {
+	switch in.Op {
+	case ir.OpCompute:
+		t.time += in.Cycles
+		r.sample(t)
+	case ir.OpCall:
+		t.time += r.cfg.CallOverhead
+		callee := r.prog.Proc(in.Callee)
+		t.pushSeq(callee.Tree)
+		r.sample(t)
+	case ir.OpField:
+		addr, size, err := r.fieldAddr(t, in)
+		if err != nil {
+			return err
+		}
+		res := r.coh.Access(t.cpu, addr, size, in.Acc == ir.Write)
+		t.time += res.Latency
+		r.recordField(in, res.Latency, res)
+		r.sample(t)
+	case ir.OpMem:
+		addr, err := r.memAddr(t, in)
+		if err != nil {
+			return err
+		}
+		res := r.coh.Access(t.cpu, addr, 8, in.Acc == ir.Write)
+		t.time += res.Latency
+		r.sample(t)
+	case ir.OpLock:
+		return r.execLock(t, in)
+	case ir.OpUnlock:
+		return r.execUnlock(t, in)
+	default:
+		return fmt.Errorf("exec: unknown opcode %d", in.Op)
+	}
+	return nil
+}
+
+// memAddr resolves a region access address.
+func (r *Runner) memAddr(t *thread, in ir.Instr) (int64, error) {
+	reg := r.regions[in.Region]
+	if reg == nil {
+		return 0, fmt.Errorf("exec: unknown region %q", in.Region)
+	}
+	base := reg.base
+	if reg.perThread {
+		base += int64(t.cpu) * reg.stride
+	}
+	span := reg.size - 8
+	if span < 1 {
+		span = 1
+	}
+	var off int64
+	switch in.Pattern {
+	case ir.MemSeq:
+		cur := t.cursors[in.Region]
+		stride := in.Stride
+		if stride == 0 {
+			stride = 8
+		}
+		off = cur % span
+		t.cursors[in.Region] = cur + stride
+	case ir.MemFixed:
+		off = in.Offset % span
+	case ir.MemRand:
+		off = t.rng.Int63n(span)
+	default:
+		return 0, fmt.Errorf("exec: unknown memory pattern %d", in.Pattern)
+	}
+	return base + off, nil
+}
+
+// lockKeyFor resolves the lock identity for a lock/unlock instruction.
+func (r *Runner) lockKeyFor(t *thread, in ir.Instr) (lockKey, int64, error) {
+	a := r.arenas[in.Struct.Name]
+	idx, err := r.resolveInstance(t, a, in.Inst)
+	if err != nil {
+		return lockKey{}, 0, err
+	}
+	addr := a.base + int64(idx)*a.stride + int64(a.lay.Offsets[in.Field])
+	return lockKey{structName: in.Struct.Name, instance: idx, field: in.Field}, addr, nil
+}
+
+// execLock acquires a field-resident spinlock: a read-modify-write of the
+// lock word. Contended acquisition parks the thread FIFO; the release path
+// hands the lock (and the cache line, at cache-to-cache cost) to the first
+// waiter. Every acquisition dirties the lock's line, so co-locating a hot
+// lock with read-mostly fields produces exactly the false-sharing traffic
+// the paper's CycleLoss term is meant to catch.
+func (r *Runner) execLock(t *thread, in ir.Instr) error {
+	key, addr, err := r.lockKeyFor(t, in)
+	if err != nil {
+		return err
+	}
+	ls := r.locks[key]
+	if ls == nil {
+		ls = &lockState{}
+		r.locks[key] = ls
+	}
+	if ls.holder == nil {
+		ls.holder = t
+		res := r.coh.Access(t.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+		t.time += res.Latency
+		r.recordField(in, res.Latency, res)
+		r.sample(t)
+		return nil
+	}
+	if ls.holder == t {
+		return fmt.Errorf("exec: thread %d re-acquires lock %v it already holds", t.id, key)
+	}
+	ls.waiters = append(ls.waiters, t)
+	t.parked = true
+	return nil
+}
+
+// execUnlock releases the lock and wakes the next waiter.
+func (r *Runner) execUnlock(t *thread, in ir.Instr) error {
+	key, addr, err := r.lockKeyFor(t, in)
+	if err != nil {
+		return err
+	}
+	ls := r.locks[key]
+	if ls == nil || ls.holder != t {
+		return fmt.Errorf("exec: thread %d releases lock %v it does not hold", t.id, key)
+	}
+	res := r.coh.Access(t.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+	t.time += res.Latency
+	r.recordField(in, res.Latency, res)
+	r.sample(t)
+
+	if len(ls.waiters) == 0 {
+		ls.holder = nil
+		return nil
+	}
+	w := ls.waiters[0]
+	ls.waiters = ls.waiters[1:]
+	ls.holder = w
+	// The waiter resumes after the release, paying the lock-word transfer.
+	wake := t.time + r.cfg.LockHandoff
+	if w.time > wake {
+		wake = w.time
+	}
+	w.time = wake
+	wres := r.coh.Access(w.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+	w.time += wres.Latency
+	r.recordField(in, wres.Latency, wres)
+	if r.collector != nil {
+		r.collector.Tick(w.cpu, w.time, w.curBlock)
+	}
+	r.woken = append(r.woken, w)
+	return nil
+}
+
+// recordField attributes an access result to the field's statistics.
+func (r *Runner) recordField(in ir.Instr, latency int64, res coherence.AccessResult) {
+	key := FieldRef{Struct: in.Struct.Name, Field: in.Field}
+	fs := r.fields[key]
+	if fs == nil {
+		fs = &FieldStat{}
+		r.fields[key] = fs
+	}
+	fs.Accesses++
+	fs.StallCycles += latency
+	switch res.Miss {
+	case coherence.MissNone:
+	case coherence.MissUpgrade:
+		fs.Upgrades++
+	case coherence.MissCoherence:
+		fs.Misses++
+		fs.CohMisses++
+	default:
+		fs.Misses++
+	}
+	if res.FalseSharing {
+		fs.FalseSharing++
+		// Attribute the causing write to its field too, when it lands in a
+		// known arena.
+		if ref, ok := r.fieldAtAddr(res.WriterAddr); ok {
+			cf := r.fields[ref]
+			if cf == nil {
+				cf = &FieldStat{}
+				r.fields[ref] = cf
+			}
+			cf.CausedFalseSharing++
+		}
+	}
+}
+
+// fieldAtAddr reverse-maps an address to the struct field occupying it.
+func (r *Runner) fieldAtAddr(addr int64) (FieldRef, bool) {
+	for name, a := range r.arenas {
+		if addr < a.base || addr >= a.base+a.stride*int64(a.count) {
+			continue
+		}
+		off := int((addr - a.base) % a.stride)
+		if fi := a.lay.FieldAt(off); fi >= 0 {
+			return FieldRef{Struct: name, Field: fi}, true
+		}
+		return FieldRef{}, false
+	}
+	return FieldRef{}, false
+}

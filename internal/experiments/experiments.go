@@ -1,0 +1,256 @@
+// Package experiments regenerates the paper's evaluation (§5): Figures 8,
+// 9 and 10, plus the §4.3 observation that high-concurrency line pairs are
+// stable across collection machines. Each driver returns structured rows so
+// both the command-line harness and the benchmark suite can print or assert
+// on them.
+//
+// The pipeline is the paper's: collect a PBO profile and PMU samples by
+// running the SDET-like workload under the baseline layouts on a 16-way
+// collection machine; build each struct's FLG; produce the automatic, the
+// sort-by-hotness, and the incremental ("best") layouts; then measure each
+// layout change individually on the target machine against the hand-tuned
+// baseline, averaging outlier-trimmed throughput over repeated runs.
+package experiments
+
+import (
+	"fmt"
+
+	"structlayout/internal/core"
+	"structlayout/internal/flg"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/profile"
+	"structlayout/internal/workload"
+)
+
+// Config parameterizes the reproduction.
+type Config struct {
+	// Params are the workload knobs.
+	Params workload.Params
+	// CollectTopo is the machine used for profile+concurrency collection;
+	// the paper uses its 16-way machine.
+	CollectTopo *machine.Topology
+	// CollectScripts lengthens collection runs (more samples).
+	CollectScripts int64
+	// Runs is the measured-run count per configuration (the paper uses 10).
+	Runs int
+	// BaseSeed seeds the whole reproduction.
+	BaseSeed int64
+	// Tool configures the layout tool.
+	Tool core.Options
+}
+
+// DefaultConfig returns the calibrated configuration. Runs defaults to 10
+// per the paper's protocol; benchmarks drop it to 3 for wall-clock sanity.
+func DefaultConfig() Config {
+	p := workload.DefaultParams()
+	return Config{
+		Params:         p,
+		CollectTopo:    machine.Way16(),
+		CollectScripts: 12,
+		Runs:           10,
+		BaseSeed:       20070311, // CGO'07 opened March 11 2007
+		Tool: core.Options{
+			LineSize:    int(p.Cache.LineSize),
+			SliceCycles: workload.CollectSliceCycles,
+			// k1/k2 balance profiled CycleGain against sampled CycleLoss.
+			// Profile counts run ~2-3 orders of magnitude above sample
+			// counts; k1=4 keeps moderate real affinities (e.g. a lock
+			// with the fields it guards) from being shattered by tiny
+			// sampled concurrency, while leaving gain-free pairs (the
+			// per-class statistics counters) fully separated.
+			FLG: flg.Options{K1: 4, K2: 1},
+		},
+	}
+}
+
+// Pipeline holds everything derived from one collection phase.
+type Pipeline struct {
+	Cfg       Config
+	Suite     *workload.Suite
+	Analysis  *core.Analysis
+	Baselines workload.Layouts
+	// Auto, Hotness and Best map struct labels to the three evaluated
+	// layouts.
+	Auto    workload.Layouts
+	Hotness workload.Layouts
+	Best    workload.Layouts
+	// Reports keeps each struct's advisory report text.
+	Reports map[string]string
+}
+
+// NewPipeline runs collection and the layout tool for all five structs.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	suite, err := workload.NewSuite(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(cfg.Params.Cache.LineSize)
+	baselines := suite.BaselineLayouts(lineSize)
+
+	// Collection phase: longer run under baseline layouts.
+	collectParams := cfg.Params
+	if cfg.CollectScripts > 0 {
+		collectParams.ScriptsPerThread = cfg.CollectScripts
+	}
+	collectSuite, err := workload.NewSuite(collectParams)
+	if err != nil {
+		return nil, err
+	}
+	pf, trace, err := collectSuite.Collect(cfg.CollectTopo, collectSuite.BaselineLayouts(lineSize), cfg.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: collection: %w", err)
+	}
+
+	toolOpts := cfg.Tool
+	toolOpts.LineSize = lineSize
+	if toolOpts.FLG.AliasOracle == nil {
+		toolOpts.FLG.AliasOracle = workload.PrivateAliasOracle(collectSuite.Prog)
+	}
+	analysis, err := core.NewAnalysis(collectSuite.Prog, pf, trace, toolOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Pipeline{
+		Cfg:       cfg,
+		Suite:     suite,
+		Analysis:  analysis,
+		Baselines: baselines,
+		Auto:      make(workload.Layouts),
+		Hotness:   make(workload.Layouts),
+		Best:      make(workload.Layouts),
+		Reports:   make(map[string]string),
+	}
+	hotCounts := profile.ProgramFieldCounts(collectSuite.Prog, pf)
+	for _, label := range workload.Labels() {
+		ks := suite.Struct(label)
+		sugg, err := analysis.Suggest(ks.Type.Name, baselines[label])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: suggest %s: %w", label, err)
+		}
+		p.Auto[label] = sugg.Auto
+		p.Reports[label] = sugg.Report.String()
+
+		hot := make(map[int]float64, len(ks.Type.Fields))
+		for fi := range ks.Type.Fields {
+			hot[fi] = hotCounts[profile.FieldKey{Struct: ks.Type.Name, Field: fi}].Total()
+		}
+		p.Hotness[label] = layout.SortByHotness(ks.Type, hot, lineSize)
+
+		best, _, err := analysis.Best(ks.Type.Name, baselines[label])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: best %s: %w", label, err)
+		}
+		p.Best[label] = best
+	}
+	return p, nil
+}
+
+// Row is one struct's outcome on one machine.
+type Row struct {
+	Label string
+	// Baseline is the baseline throughput (scripts/hour).
+	Baseline float64
+	// Pct maps layout name ("auto", "hotness", "best") to speedup percent
+	// over baseline.
+	Pct map[string]float64
+}
+
+// Figure is one regenerated figure.
+type Figure struct {
+	Name    string
+	Machine string
+	Rows    []Row
+}
+
+// measureVariants evaluates, per struct, each named layout individually
+// against the shared baseline measurement.
+func (p *Pipeline) measureVariants(topo *machine.Topology, variants map[string]workload.Layouts) ([]Row, error) {
+	base, err := p.Suite.Measure(topo, p.Baselines, p.Cfg.Runs, p.Cfg.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, label := range workload.Labels() {
+		row := Row{Label: label, Baseline: base.Mean, Pct: make(map[string]float64)}
+		for name, ls := range variants {
+			m, err := p.Suite.Measure(topo, p.Baselines.WithLayout(label, ls[label]), p.Cfg.Runs, p.Cfg.BaseSeed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s on %s: %w", label, name, topo.Name, err)
+			}
+			row.Pct[name] = m.SpeedupOver(base)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8 regenerates Figure 8: automatic layout and sort-by-hotness versus
+// baseline on the 128-way machine.
+func (p *Pipeline) Fig8() (*Figure, error) {
+	rows, err := p.measureVariants(machine.Superdome128(), map[string]workload.Layouts{
+		"auto":    p.Auto,
+		"hotness": p.Hotness,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{Name: "Figure 8", Machine: "Superdome128", Rows: rows}, nil
+}
+
+// Fig9 regenerates Figure 9: the same automatic layouts on the 4-way bus
+// machine.
+func (p *Pipeline) Fig9() (*Figure, error) {
+	rows, err := p.measureVariants(machine.Bus4(), map[string]workload.Layouts{
+		"auto": p.Auto,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{Name: "Figure 9", Machine: "Bus4", Rows: rows}, nil
+}
+
+// Fig10 regenerates Figure 10: each struct's best layout (automatic or
+// incremental) on the 128-way machine. Both candidates are measured; the
+// figure reports the better one, which the paper found to be the
+// incremental layout for A and B and the automatic one for C and D.
+func (p *Pipeline) Fig10() (*Figure, error) {
+	rows, err := p.measureVariants(machine.Superdome128(), map[string]workload.Layouts{
+		"auto": p.Auto,
+		"best": p.Best,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		auto, best := rows[i].Pct["auto"], rows[i].Pct["best"]
+		winner := "auto"
+		pct := auto
+		if best > auto {
+			winner, pct = "incremental", best
+		}
+		rows[i].Pct["winner:"+winner] = pct
+	}
+	return &Figure{Name: "Figure 10", Machine: "Superdome128", Rows: rows}, nil
+}
+
+// String renders a figure as the paper-style table.
+func (f *Figure) String() string {
+	s := fmt.Sprintf("%s (%s)\n", f.Name, f.Machine)
+	for _, r := range f.Rows {
+		s += fmt.Sprintf("  struct %s (baseline %.0f scripts/hour):", r.Label, r.Baseline)
+		for _, name := range []string{"auto", "hotness", "best"} {
+			if v, ok := r.Pct[name]; ok {
+				s += fmt.Sprintf("  %s %+0.2f%%", name, v)
+			}
+		}
+		for name, v := range r.Pct {
+			if len(name) > 7 && name[:7] == "winner:" {
+				s += fmt.Sprintf("  [%s %+0.2f%%]", name[7:], v)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

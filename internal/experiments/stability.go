@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"structlayout/internal/concurrency"
+	"structlayout/internal/ir"
+	"structlayout/internal/machine"
+	"structlayout/internal/stats"
+	"structlayout/internal/workload"
+)
+
+// StabilityResult quantifies §4.3's observation: "source line pairs with
+// high concurrency values remain more or less the same in both the 4 way
+// and 16 way machines", even though the absolute CC values differ.
+type StabilityResult struct {
+	// TopOverlap is the fraction of the top-K line pairs by CC on the
+	// 16-way machine that also rank in the top K on the 4-way machine.
+	TopOverlap float64
+	// RankCorrelation is the Spearman correlation of CC over the union of
+	// both machines' top-K pairs.
+	RankCorrelation float64
+	// K is the pair budget used.
+	K int
+	// Pairs4 and Pairs16 are the total non-zero pairs on each machine.
+	Pairs4, Pairs16 int
+}
+
+// ConcurrencyStability collects concurrency data on the 4-way and 16-way
+// machines under baseline layouts and compares the high-CC line pairs.
+func (p *Pipeline) ConcurrencyStability(k int) (*StabilityResult, error) {
+	if k <= 0 {
+		k = 20
+	}
+	collectParams := p.Cfg.Params
+	if p.Cfg.CollectScripts > 0 {
+		collectParams.ScriptsPerThread = p.Cfg.CollectScripts
+	}
+	suite, err := workload.NewSuite(collectParams)
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(collectParams.Cache.LineSize)
+	base := suite.BaselineLayouts(lineSize)
+
+	scores := make([]map[[2]ir.SourceLine]float64, 0, 2)
+	counts := make([]int, 0, 2)
+	for _, topo := range []*machine.Topology{machine.Bus4(), machine.Way16()} {
+		_, trace, err := suite.Collect(topo, base, p.Cfg.BaseSeed+int64(topo.NumCPUs()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stability collect on %s: %w", topo.Name, err)
+		}
+		cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: p.Cfg.Tool.SliceCycles})
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, cm.LineScores(suite.Prog))
+		counts = append(counts, len(cm.CC))
+	}
+
+	// The machines run different CPU counts, so code bound to scheduler
+	// classes absent on the small box never executes there. The paper's
+	// comparison is over line pairs observed on both machines; restrict to
+	// the intersection before ranking.
+	inter4 := make(map[[2]ir.SourceLine]float64)
+	inter16 := make(map[[2]ir.SourceLine]float64)
+	for pair, v4 := range scores[0] {
+		if v16, ok := scores[1][pair]; ok {
+			inter4[pair] = v4
+			inter16[pair] = v16
+		}
+	}
+	res := &StabilityResult{
+		K:          k,
+		TopOverlap: stats.OverlapAtK(inter16, inter4, k),
+		Pairs4:     counts[0],
+		Pairs16:    counts[1],
+	}
+	var xs, ys []float64
+	for pair := range inter4 {
+		xs = append(xs, inter4[pair])
+		ys = append(ys, inter16[pair])
+	}
+	if len(xs) >= 2 {
+		if r, err := stats.SpearmanRank(xs, ys); err == nil {
+			res.RankCorrelation = r
+		}
+	}
+	return res, nil
+}
+
+// String renders the result.
+func (r *StabilityResult) String() string {
+	return fmt.Sprintf("concurrency stability: top-%d overlap %.0f%%, rank correlation %.2f (pairs: 4-way %d, 16-way %d)",
+		r.K, r.TopOverlap*100, r.RankCorrelation, r.Pairs4, r.Pairs16)
+}

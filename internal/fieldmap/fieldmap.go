@@ -1,0 +1,192 @@
+// Package fieldmap builds the paper's Field Mapping File (FMF, §4.3): a map
+// from source lines to the struct fields accessed in the basic blocks
+// behind those lines, with read/write flags. The concurrency pipeline joins
+// this file with the Concurrency Map to turn block-level concurrency into
+// field-level CycleLoss.
+//
+// In the paper the FMF is emitted by a new compiler component and written
+// to disk for an external script; this package provides both the in-memory
+// index and a line-oriented text serialization round-trip for the
+// command-line tools.
+package fieldmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"structlayout/internal/ir"
+)
+
+// Entry is one field access within a source line's basic block. Seq is the
+// access's position among the block's field-touching instructions, which
+// lets instruction-level analyses (e.g. lock-based mutual exclusion) refine
+// block-level joins.
+type Entry struct {
+	Struct string
+	Field  int
+	Acc    ir.AccessKind
+	Seq    int
+}
+
+// File maps source lines to their field accesses. Lines without field
+// accesses do not appear.
+type File struct {
+	// Lines maps each source line to its accesses (static, per execution).
+	Lines map[ir.SourceLine][]Entry
+	// blocks maps each block to the same data for block-keyed consumers.
+	blocks map[ir.BlockID][]Entry
+}
+
+// Build derives the FMF from the finalized program. Lock and unlock
+// instructions count as writes of their field, consistent with
+// BasicBlock.FieldInstrs.
+func Build(p *ir.Program) *File {
+	f := &File{
+		Lines:  make(map[ir.SourceLine][]Entry),
+		blocks: make(map[ir.BlockID][]Entry),
+	}
+	for _, b := range p.Blocks() {
+		var entries []Entry
+		for seq, in := range b.FieldInstrs() {
+			entries = append(entries, Entry{Struct: in.Struct.Name, Field: in.Field, Acc: in.Acc, Seq: seq})
+		}
+		if entries != nil {
+			f.Lines[b.Line] = entries
+			f.blocks[b.Global] = entries
+		}
+	}
+	return f
+}
+
+// At returns the accesses recorded for a source line.
+func (f *File) At(line ir.SourceLine) []Entry { return f.Lines[line] }
+
+// AtBlock returns the accesses recorded for a block.
+func (f *File) AtBlock(id ir.BlockID) []Entry { return f.blocks[id] }
+
+// BlocksTouching returns, for one struct, every block that accesses it,
+// with that block's accesses filtered to the struct. hasWrite reports
+// whether the block writes any field of the struct.
+func (f *File) BlocksTouching(structName string) map[ir.BlockID][]Entry {
+	out := make(map[ir.BlockID][]Entry)
+	for id, entries := range f.blocks {
+		for _, e := range entries {
+			if e.Struct == structName {
+				out[id] = append(out[id], e)
+			}
+		}
+	}
+	return out
+}
+
+// TouchesWithWrite reports whether any entry writes.
+func TouchesWithWrite(entries []Entry) bool {
+	for _, e := range entries {
+		if e.Acc == ir.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText serializes the file in the paper's "simple and easily parseable
+// format": one line per source line, sorted, entries as struct.field/R|W.
+func (f *File) WriteText(w io.Writer) error {
+	lines := make([]ir.SourceLine, 0, len(f.Lines))
+	for l := range f.Lines {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Less(lines[j]) })
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		fmt.Fprintf(bw, "%s:%d", l.File, l.Line)
+		for _, e := range f.Lines[l] {
+			fmt.Fprintf(bw, " %s.%d/%s", e.Struct, e.Field, e.Acc)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ParseText reads the WriteText format. The block-keyed index is
+// reconstructed via the program's line table.
+func ParseText(r io.Reader, p *ir.Program) (*File, error) {
+	f := &File{
+		Lines:  make(map[ir.SourceLine][]Entry),
+		blocks: make(map[ir.BlockID][]Entry),
+	}
+	table := p.LineTable()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Fields(text)
+		loc, err := parseLoc(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fieldmap: line %d: %w", lineno, err)
+		}
+		var entries []Entry
+		for seq, tok := range parts[1:] {
+			e, err := parseEntry(tok)
+			if err != nil {
+				return nil, fmt.Errorf("fieldmap: line %d: %w", lineno, err)
+			}
+			e.Seq = seq
+			entries = append(entries, e)
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("fieldmap: line %d: no entries", lineno)
+		}
+		f.Lines[loc] = entries
+		if b, ok := table[loc]; ok {
+			f.blocks[b.Global] = entries
+		}
+	}
+	return f, sc.Err()
+}
+
+func parseLoc(tok string) (ir.SourceLine, error) {
+	i := strings.LastIndexByte(tok, ':')
+	if i < 0 {
+		return ir.SourceLine{}, fmt.Errorf("malformed location %q", tok)
+	}
+	n, err := strconv.Atoi(tok[i+1:])
+	if err != nil {
+		return ir.SourceLine{}, fmt.Errorf("malformed line number in %q", tok)
+	}
+	return ir.SourceLine{File: tok[:i], Line: n}, nil
+}
+
+func parseEntry(tok string) (Entry, error) {
+	slash := strings.LastIndexByte(tok, '/')
+	if slash < 0 {
+		return Entry{}, fmt.Errorf("malformed entry %q", tok)
+	}
+	acc := tok[slash+1:]
+	var kind ir.AccessKind
+	switch acc {
+	case "R":
+		kind = ir.Read
+	case "W":
+		kind = ir.Write
+	default:
+		return Entry{}, fmt.Errorf("malformed access kind %q", acc)
+	}
+	dot := strings.LastIndexByte(tok[:slash], '.')
+	if dot < 0 {
+		return Entry{}, fmt.Errorf("malformed entry %q", tok)
+	}
+	fi, err := strconv.Atoi(tok[dot+1 : slash])
+	if err != nil {
+		return Entry{}, fmt.Errorf("malformed field index in %q", tok)
+	}
+	return Entry{Struct: tok[:dot], Field: fi, Acc: kind}, nil
+}

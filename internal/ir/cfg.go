@@ -1,0 +1,142 @@
+package ir
+
+import "sort"
+
+// This file implements classic CFG analyses — reverse postorder, dominator
+// computation and natural-loop detection — over the lowered graphs. The
+// structured lowering already records the loop nest, so these analyses serve
+// two purposes: they cross-check lowering (a natural loop must exist exactly
+// where a LoopStmt was lowered; tests assert this), and they make the IR
+// usable by analyses that only want to see a flat CFG, the way the paper's
+// compiler front end sees code after loop recognition.
+
+// ReversePostorder returns the procedure's blocks in reverse postorder of a
+// depth-first search from the entry.
+func (pr *Procedure) ReversePostorder() []*BasicBlock {
+	seen := make([]bool, len(pr.Blocks))
+	var post []*BasicBlock
+	var dfs func(b *BasicBlock)
+	dfs = func(b *BasicBlock) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(pr.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator relation with the iterative
+// Cooper/Harvey/Kennedy algorithm. The result maps each reachable block to
+// its immediate dominator; the entry maps to itself.
+func (pr *Procedure) Dominators() map[*BasicBlock]*BasicBlock {
+	rpo := pr.ReversePostorder()
+	order := make(map[*BasicBlock]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make(map[*BasicBlock]*BasicBlock, len(rpo))
+	idom[pr.Entry] = pr.Entry
+
+	intersect := func(a, b *BasicBlock) *BasicBlock {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == pr.Entry {
+				continue
+			}
+			var newIdom *BasicBlock
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom relation.
+func Dominates(idom map[*BasicBlock]*BasicBlock, a, b *BasicBlock) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// NaturalLoop describes a loop discovered from the CFG alone.
+type NaturalLoop struct {
+	Header *BasicBlock
+	// Body is the set of blocks in the loop, including the header.
+	Body map[*BasicBlock]bool
+}
+
+// NaturalLoops finds all natural loops of the procedure: for every back edge
+// t→h (where h dominates t), the loop body is h plus all blocks that reach t
+// without passing through h. Loops sharing a header are merged. Results are
+// sorted by header block index.
+func (pr *Procedure) NaturalLoops() []*NaturalLoop {
+	idom := pr.Dominators()
+	byHeader := make(map[*BasicBlock]*NaturalLoop)
+	for _, t := range pr.Blocks {
+		for _, h := range t.Succs {
+			if !Dominates(idom, h, t) {
+				continue
+			}
+			nl := byHeader[h]
+			if nl == nil {
+				nl = &NaturalLoop{Header: h, Body: map[*BasicBlock]bool{h: true}}
+				byHeader[h] = nl
+			}
+			// Reverse flood fill from t, stopping at h.
+			stack := []*BasicBlock{t}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if nl.Body[b] {
+					continue
+				}
+				nl.Body[b] = true
+				stack = append(stack, b.Preds...)
+			}
+		}
+	}
+	out := make([]*NaturalLoop, 0, len(byHeader))
+	for _, nl := range byHeader {
+		out = append(out, nl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Header.Index < out[j].Header.Index })
+	return out
+}

@@ -1,0 +1,170 @@
+package ir
+
+import "fmt"
+
+// InlineOptions bounds the inlining pass.
+type InlineOptions struct {
+	// MaxDepth bounds transitive substitution rounds (default 3).
+	MaxDepth int
+	// MaxStmts is the largest callee body (recursive statement count) that
+	// will be inlined (default 50).
+	MaxStmts int
+}
+
+func (o *InlineOptions) fillDefaults() {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 50
+	}
+}
+
+// Inline performs bounded procedure inlining, replacing call statements
+// with deep clones of the callee's body. The paper's affinity analysis is
+// deliberately intra-procedural (§3.1) and names "post-inline computation"
+// as the way to recover inter-procedural affinity (§7): after inlining, a
+// caller's accesses and a small callee's accesses share a granularity and
+// gain affinity edges.
+//
+// Inline must run before Finalize. Each round substitutes exactly one call
+// level (bodies are snapshotted at round start), so MaxDepth bounds the
+// transitive flattening depth independently of declaration order. Inline
+// independently detects call cycles, which the builder would otherwise
+// only reject at Finalize.
+func (p *Program) Inline(opts InlineOptions) error {
+	p.mustMutable()
+	opts.fillDefaults()
+	for round := 0; round < opts.MaxDepth; round++ {
+		// Snapshot pre-round bodies so substitution is one level per round.
+		snapshot := make(map[string][]Stmt, len(p.Procs))
+		for _, pr := range p.Procs {
+			snapshot[pr.Name] = pr.Body
+		}
+		changed := false
+		for _, pr := range p.Procs {
+			body, didChange, err := p.inlineList(pr.Body, pr.Name, opts, snapshot, map[string]bool{pr.Name: true})
+			if err != nil {
+				return err
+			}
+			if didChange {
+				pr.Body = body
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// inlineList substitutes eligible calls in one statement list (one level).
+func (p *Program) inlineList(stmts []Stmt, caller string, opts InlineOptions, snapshot map[string][]Stmt, onPath map[string]bool) ([]Stmt, bool, error) {
+	var out []Stmt
+	changed := false
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *CallStmt:
+			if p.procByName[s.Callee] == nil {
+				return nil, false, fmt.Errorf("ir: inline: %s calls undefined procedure %q", caller, s.Callee)
+			}
+			if onPath[s.Callee] {
+				return nil, false, fmt.Errorf("ir: inline: recursive call cycle through %q", s.Callee)
+			}
+			body := snapshot[s.Callee]
+			if StmtCount(body) > opts.MaxStmts {
+				out = append(out, s)
+				continue
+			}
+			out = append(out, CloneStmts(body)...)
+			changed = true
+		case *LoopStmt:
+			body, didChange, err := p.inlineList(s.Body, caller, opts, snapshot, onPath)
+			if err != nil {
+				return nil, false, err
+			}
+			if didChange {
+				out = append(out, &LoopStmt{Count: s.Count, Body: body})
+				changed = true
+			} else {
+				out = append(out, s)
+			}
+		case *IfStmt:
+			thenBody, c1, err := p.inlineList(s.Then, caller, opts, snapshot, onPath)
+			if err != nil {
+				return nil, false, err
+			}
+			elseBody, c2, err := p.inlineList(s.Else, caller, opts, snapshot, onPath)
+			if err != nil {
+				return nil, false, err
+			}
+			if c1 || c2 {
+				out = append(out, &IfStmt{Prob: s.Prob, Then: thenBody, Else: elseBody})
+				changed = true
+			} else {
+				out = append(out, s)
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, changed, nil
+}
+
+// StmtCount returns the recursive statement count of a body.
+func StmtCount(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		switch s := s.(type) {
+		case *LoopStmt:
+			n += StmtCount(s.Body)
+		case *IfStmt:
+			n += StmtCount(s.Then) + StmtCount(s.Else)
+		}
+	}
+	return n
+}
+
+// CloneStmts deep-copies a statement list so inlined bodies never share
+// mutable nodes with their origin.
+func CloneStmts(stmts []Stmt) []Stmt {
+	if stmts == nil {
+		return nil
+	}
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, cloneStmt(s))
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *AccessStmt:
+		c := *s
+		return &c
+	case *MemStmt:
+		c := *s
+		return &c
+	case *ComputeStmt:
+		c := *s
+		return &c
+	case *LockStmt:
+		c := *s
+		return &c
+	case *UnlockStmt:
+		c := *s
+		return &c
+	case *CallStmt:
+		c := *s
+		return &c
+	case *LoopStmt:
+		return &LoopStmt{Count: s.Count, Body: CloneStmts(s.Body)}
+	case *IfStmt:
+		return &IfStmt{Prob: s.Prob, Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+	default:
+		panic(fmt.Sprintf("ir: clone: unknown statement %T", s))
+	}
+}

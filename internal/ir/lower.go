@@ -1,0 +1,164 @@
+package ir
+
+import "fmt"
+
+// lowerer carries the shared state of one procedure's lowering.
+type lowerer struct {
+	proc     *Procedure
+	file     string
+	nextLine *int
+	loops    []*Loop // loop stack, innermost last
+}
+
+// lower converts the structured body into a CFG, loop nest and execution
+// tree. Called by Program.Finalize.
+func (pr *Procedure) lower(p *Program, nextLine *int) error {
+	if pr.Blocks != nil {
+		return fmt.Errorf("procedure %s lowered twice", pr.Name)
+	}
+	lo := &lowerer{proc: pr, file: pr.Name + ".c", nextLine: nextLine}
+
+	pr.Entry = lo.newBlock(true)
+	entry, exitBlk, nodes, err := lo.lowerList(pr.Body, pr.Entry)
+	if err != nil {
+		return err
+	}
+	pr.Exit = lo.newBlock(true)
+	// entry == pr.Entry when the body is empty; otherwise the first body
+	// block was linked from pr.Entry inside lowerList.
+	_ = entry
+	lo.edge(exitBlk, pr.Exit)
+
+	pr.Tree = make([]ExecNode, 0, len(nodes)+2)
+	pr.Tree = append(pr.Tree, &ExecBlock{Block: pr.Entry})
+	pr.Tree = append(pr.Tree, nodes...)
+	pr.Tree = append(pr.Tree, &ExecBlock{Block: pr.Exit})
+	return nil
+}
+
+func (lo *lowerer) newBlock(synthetic bool) *BasicBlock {
+	var innermost *Loop
+	if n := len(lo.loops); n > 0 {
+		innermost = lo.loops[n-1]
+	}
+	b := &BasicBlock{
+		Index:     len(lo.proc.Blocks),
+		Proc:      lo.proc,
+		Loop:      innermost,
+		Line:      SourceLine{File: lo.file, Line: *lo.nextLine},
+		Synthetic: synthetic,
+	}
+	*lo.nextLine++
+	lo.proc.Blocks = append(lo.proc.Blocks, b)
+	if innermost != nil {
+		innermost.Blocks = append(innermost.Blocks, b)
+	}
+	return b
+}
+
+func (lo *lowerer) edge(from, to *BasicBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// lowerList lowers a statement list. last is the block that falls through
+// into the list; the returned exit is the block that falls through out of
+// it (== last for an empty list).
+func (lo *lowerer) lowerList(stmts []Stmt, last *BasicBlock) (entry, exit *BasicBlock, nodes []ExecNode, err error) {
+	entry = last
+	var open *BasicBlock // current straight-line block accepting instructions
+
+	ensureOpen := func() *BasicBlock {
+		if open == nil {
+			b := lo.newBlock(false)
+			lo.edge(last, b)
+			last = b
+			open = b
+			nodes = append(nodes, &ExecBlock{Block: b})
+		}
+		return open
+	}
+
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AccessStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpField, Struct: s.Struct, Field: s.Field, Acc: s.Acc, Inst: s.Inst})
+		case *MemStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpMem, Acc: s.Acc, Region: s.Region, Pattern: s.Pattern, Stride: s.Stride, Offset: s.Offset})
+		case *ComputeStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpCompute, Cycles: s.Cycles})
+		case *LockStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpLock, Struct: s.Struct, Field: s.Field, Acc: Write, Inst: s.Inst})
+		case *UnlockStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpUnlock, Struct: s.Struct, Field: s.Field, Acc: Write, Inst: s.Inst})
+		case *CallStmt:
+			b := ensureOpen()
+			b.Instrs = append(b.Instrs, Instr{Op: OpCall, Callee: s.Callee})
+		case *LoopStmt:
+			if len(s.Body) == 0 {
+				return nil, nil, nil, fmt.Errorf("empty loop body in %s", lo.proc.Name)
+			}
+			open = nil
+			var parent *Loop
+			if n := len(lo.loops); n > 0 {
+				parent = lo.loops[n-1]
+			}
+			loop := &Loop{
+				Index:     len(lo.proc.Loops),
+				Proc:      lo.proc,
+				Parent:    parent,
+				Depth:     len(lo.loops) + 1,
+				TripCount: s.Count,
+				stmt:      s,
+			}
+			lo.proc.Loops = append(lo.proc.Loops, loop)
+			if parent != nil {
+				parent.Children = append(parent.Children, loop)
+			}
+			lo.loops = append(lo.loops, loop)
+			header := lo.newBlock(true)
+			loop.Header = header
+			lo.edge(last, header)
+			_, bodyExit, bodyNodes, berr := lo.lowerList(s.Body, header)
+			if berr != nil {
+				return nil, nil, nil, berr
+			}
+			lo.edge(bodyExit, header) // back edge
+			lo.loops = lo.loops[:len(lo.loops)-1]
+			last = header
+			nodes = append(nodes, &ExecLoop{Loop: loop, Count: s.Count, Body: bodyNodes})
+		case *IfStmt:
+			open = nil
+			cond := lo.newBlock(true)
+			lo.edge(last, cond)
+			_, thenExit, thenNodes, terr := lo.lowerList(s.Then, cond)
+			if terr != nil {
+				return nil, nil, nil, terr
+			}
+			_, elseExit, elseNodes, eerr := lo.lowerList(s.Else, cond)
+			if eerr != nil {
+				return nil, nil, nil, eerr
+			}
+			join := lo.newBlock(true)
+			if thenExit == cond && elseExit == cond {
+				// Both arms empty: single fallthrough edge.
+				lo.edge(cond, join)
+			} else {
+				lo.edge(thenExit, join)
+				if elseExit != thenExit {
+					lo.edge(elseExit, join)
+				}
+			}
+			last = join
+			nodes = append(nodes, &ExecIf{Prob: s.Prob, Cond: cond, Join: join, Then: thenNodes, Else: elseNodes})
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown statement type %T in %s", s, lo.proc.Name)
+		}
+	}
+	return entry, last, nodes, nil
+}

@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the lowered program for debugging and golden tests: each
+// procedure's blocks with line numbers, loop depth, instructions and edges.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, s := range p.Structs {
+		b.WriteString(s.Dump())
+	}
+	for _, r := range p.Regions {
+		scope := "shared"
+		if r.PerThread {
+			scope = "per-thread"
+		}
+		fmt.Fprintf(&b, "region %s [%d bytes, %s]\n", r.Name, r.Bytes, scope)
+	}
+	for _, pr := range p.Procs {
+		b.WriteString(pr.Dump())
+	}
+	return b.String()
+}
+
+// Dump renders one procedure's CFG.
+func (pr *Procedure) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc %s (entry=#%d exit=#%d)\n", pr.Name, pr.Entry.Index, pr.Exit.Index)
+	for _, blk := range pr.Blocks {
+		tags := ""
+		if blk.Synthetic {
+			tags += " synthetic"
+		}
+		if blk.Loop != nil {
+			tags += fmt.Sprintf(" loop=%s depth=%d", blk.Loop.Name(), blk.Loop.Depth)
+		}
+		fmt.Fprintf(&b, "  #%d line=%s%s ->%s\n", blk.Index, blk.Line, tags, succList(blk))
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "    %s\n", in)
+		}
+	}
+	for _, l := range pr.Loops {
+		fmt.Fprintf(&b, "  loop %s header=#%d trip=%d blocks=%d\n", l.Name(), l.Header.Index, l.TripCount, len(l.Blocks))
+	}
+	return b.String()
+}
+
+func succList(b *BasicBlock) string {
+	if len(b.Succs) == 0 {
+		return " (none)"
+	}
+	var sb strings.Builder
+	for _, s := range b.Succs {
+		fmt.Fprintf(&sb, " #%d", s.Index)
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package ir
+
+import "fmt"
+
+// validate checks structural invariants of the finalized program:
+// every block is reachable, CFG edges are mutual, the loop nest recorded by
+// lowering matches the natural loops recoverable from the CFG, and the call
+// graph is acyclic (the interpreter would not terminate on recursion).
+func (p *Program) validate() error {
+	for _, pr := range p.Procs {
+		if err := pr.validate(); err != nil {
+			return fmt.Errorf("ir: %s: %w", pr.Name, err)
+		}
+	}
+	return p.checkCallGraph()
+}
+
+func (pr *Procedure) validate() error {
+	if pr.Entry == nil || pr.Exit == nil {
+		return fmt.Errorf("missing entry/exit")
+	}
+	// Edge symmetry.
+	for _, b := range pr.Blocks {
+		for _, s := range b.Succs {
+			if !contains(s.Preds, b) {
+				return fmt.Errorf("edge %s->%s not mirrored in preds", b.Name(), s.Name())
+			}
+		}
+		for _, pd := range b.Preds {
+			if !contains(pd.Succs, b) {
+				return fmt.Errorf("pred edge %s->%s not mirrored in succs", pd.Name(), b.Name())
+			}
+		}
+		if b.Synthetic && len(b.Instrs) > 0 {
+			return fmt.Errorf("synthetic block %s has instructions", b.Name())
+		}
+	}
+	// Reachability.
+	reach := make(map[*BasicBlock]bool)
+	stack := []*BasicBlock{pr.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[b] {
+			continue
+		}
+		reach[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	for _, b := range pr.Blocks {
+		if !reach[b] {
+			return fmt.Errorf("block %s unreachable", b.Name())
+		}
+	}
+	// Loop nest consistency with the CFG's natural loops.
+	natural := pr.NaturalLoops()
+	if len(natural) != len(pr.Loops) {
+		return fmt.Errorf("lowered %d loops but CFG has %d natural loops", len(pr.Loops), len(natural))
+	}
+	byHeader := make(map[*BasicBlock]*NaturalLoop, len(natural))
+	for _, nl := range natural {
+		byHeader[nl.Header] = nl
+	}
+	for _, l := range pr.Loops {
+		nl := byHeader[l.Header]
+		if nl == nil {
+			return fmt.Errorf("loop %s: header %s is not a natural-loop header", l.Name(), l.Header.Name())
+		}
+		want := l.AllBlocks()
+		if len(want) != len(nl.Body) {
+			return fmt.Errorf("loop %s: lowered body has %d blocks, natural loop has %d", l.Name(), len(want), len(nl.Body))
+		}
+		for _, b := range want {
+			if !nl.Body[b] {
+				return fmt.Errorf("loop %s: block %s missing from natural loop body", l.Name(), b.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// checkCallGraph rejects recursion (direct or mutual).
+func (p *Program) checkCallGraph() error {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[string]int, len(p.Procs))
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		switch color[name] {
+		case grey:
+			return fmt.Errorf("ir: recursive call cycle: %v -> %s", path, name)
+		case black:
+			return nil
+		}
+		color[name] = grey
+		pr := p.procByName[name]
+		for _, b := range pr.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpCall {
+					if err := visit(in.Callee, append(path, name)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for _, pr := range p.Procs {
+		if err := visit(pr.Name, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func contains(bs []*BasicBlock, b *BasicBlock) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

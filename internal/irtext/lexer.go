@@ -1,0 +1,182 @@
+// Package irtext implements a small textual language for the IR, so the
+// layout tool can be driven by programs written outside this repository —
+// the role the C front end plays in the paper's pipeline. A program file
+// declares record types, memory regions, procedures (with loops,
+// probabilistic branches, field and memory accesses, locks and calls), and
+// the run harness (arenas and threads):
+//
+//	program demo
+//
+//	struct conn {
+//	    c_state  i64
+//	    c_events i64
+//	    c_rx     i64
+//	    c_name   arr 4 8 align 8
+//	}
+//
+//	region userbuf 262144 perthread
+//
+//	proc poller {
+//	    loop 256 {
+//	        read conn.c_state loopvar
+//	        read conn.c_events loopvar
+//	        compute 25
+//	    }
+//	}
+//
+//	proc worker {
+//	    loop 256 {
+//	        write conn.c_rx shared 0
+//	        if 0.1 {
+//	            memsweep userbuf write 1024
+//	        }
+//	        compute 60
+//	    }
+//	}
+//
+//	proc main0 { call poller  call worker }
+//
+//	arena conn 512
+//	thread 0 main0 iters 4
+//	thread 1 main0 iters 4
+//
+// '#' starts a comment that runs to end of line. The parser reports errors
+// with line and column. Format serializes a finalized program back to this
+// syntax, and the round trip is exact up to whitespace.
+package irtext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind discriminates lexical classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokDot
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokDot:
+		return "'.'"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes the input.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case c == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case c == '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", line: line, col: col}, nil
+	case isDigit(c) || c == '-' || c == '+':
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
+			l.src[l.pos] == 'E' || l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+			// Accept floats and exponents; strconv validates later.
+			if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+				// Sign only valid right after an exponent marker.
+				prev := l.src[l.pos-1]
+				if prev != 'e' && prev != 'E' {
+					break
+				}
+			}
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	default:
+		return token{}, fmt.Errorf("%d:%d: unexpected character %q", line, col, rune(c))
+	}
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if unicode.IsSpace(rune(c)) {
+			l.advance()
+			continue
+		}
+		return
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// keywords that terminate statement parsing inside a block; used for error
+// recovery messages.
+var statementKeywords = strings.Join([]string{
+	"read", "write", "lock", "unlock", "compute", "call", "loop", "if",
+	"memsweep", "memat", "memrand",
+}, ", ")

@@ -1,0 +1,80 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EmitC renders the layout as a C structure definition with explicit
+// padding members, the concrete artifact the paper's semi-automatic flow
+// hands back to the programmer ("a programmer can use the suggested
+// layout", §1). Field types are chosen by size/alignment: natural scalars
+// become uintNN_t, anything else becomes a char array with an alignment
+// attribute. Explicit pad members make the cache-line structure visible
+// and survive compilers that would otherwise repack.
+func (l *Layout) EmitC() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* layout %q: %d bytes, %d cache lines of %d bytes */\n",
+		l.Name, l.Size, l.NumLines(), l.LineSize)
+	fmt.Fprintf(&b, "struct %s {\n", l.Struct.Name)
+
+	type slot struct {
+		off, size int
+		fi        int // -1 for padding
+	}
+	slots := make([]slot, 0, len(l.Order)*2)
+	pos := 0
+	padSeq := 0
+	for _, fi := range l.Order {
+		off := l.Offsets[fi]
+		if off > pos {
+			slots = append(slots, slot{off: pos, size: off - pos, fi: -1})
+			padSeq++
+		}
+		slots = append(slots, slot{off: off, size: l.Struct.Fields[fi].Size, fi: fi})
+		pos = off + l.Struct.Fields[fi].Size
+	}
+	if l.Size > pos {
+		slots = append(slots, slot{off: pos, size: l.Size - pos, fi: -1})
+	}
+
+	line := -1
+	padIdx := 0
+	for _, s := range slots {
+		if ln := s.off / l.LineSize; ln != line {
+			line = ln
+			fmt.Fprintf(&b, "\t/* ---- cache line %d ---- */\n", line)
+		}
+		if s.fi < 0 {
+			fmt.Fprintf(&b, "\tchar            __pad%d[%d];%s\n", padIdx, s.size, offComment(s.off))
+			padIdx++
+			continue
+		}
+		f := l.Struct.Fields[s.fi]
+		fmt.Fprintf(&b, "\t%s%s\n", cDecl(f.Name, f.Size, f.Align), offComment(s.off))
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+func offComment(off int) string {
+	return fmt.Sprintf(" /* offset %4d */", off)
+}
+
+// cDecl picks a C declaration for a field.
+func cDecl(name string, size, align int) string {
+	switch {
+	case size == 1 && align == 1:
+		return fmt.Sprintf("uint8_t         %s;", name)
+	case size == 2 && align == 2:
+		return fmt.Sprintf("uint16_t        %s;", name)
+	case size == 4 && align == 4:
+		return fmt.Sprintf("uint32_t        %s;", name)
+	case size == 8 && align == 8:
+		return fmt.Sprintf("uint64_t        %s;", name)
+	case align == 1:
+		return fmt.Sprintf("char            %s[%d];", name, size)
+	default:
+		return fmt.Sprintf("_Alignas(%d) char %s[%d];", align, name, size)
+	}
+}

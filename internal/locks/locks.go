@@ -1,0 +1,312 @@
+// Package locks implements the lock analysis the paper lists as future
+// work (§7: "We will seek to improve the affinity information by a variety
+// of means, in particular ... by lock analysis"). It computes, for every
+// field-touching instruction, the set of spinlocks definitely held when it
+// executes, interprocedurally over the acyclic call graph.
+//
+// Its main consumer is a mutual-exclusion oracle for CycleLoss: two
+// accesses both performed under the same *shared-instance* lock can never
+// execute concurrently, so sampled CodeConcurrency between their blocks is
+// a false alarm — the fields may be co-located without false sharing. (A
+// lock on a per-thread instance excludes nothing: each thread holds its
+// own lock.) This is a second, orthogonal mitigation of the CycleLoss
+// over-approximation, alongside the alias oracle of §3.2.
+package locks
+
+import (
+	"fmt"
+	"sort"
+
+	"structlayout/internal/ir"
+)
+
+// Key identifies a lock: a field of a struct, qualified by the instance
+// expression it is acquired through. Two acquisitions with syntactically
+// identical shared-instance expressions take the same runtime lock; all
+// other kinds are per-thread or data-dependent and excluded from mutual
+// exclusion reasoning (but still tracked, e.g. for affinity hints).
+type Key struct {
+	Struct string
+	Field  int
+	Inst   ir.InstExpr
+}
+
+// SharedInstance reports whether this lock is one runtime lock for all
+// threads.
+func (k Key) SharedInstance() bool { return k.Inst.Kind == ir.InstShared }
+
+// String renders the key.
+func (k Key) String() string {
+	return fmt.Sprintf("%s.#%d@%s", k.Struct, k.Field, k.Inst)
+}
+
+// Info is the analysis result.
+type Info struct {
+	// heldAt maps (block, field-instruction sequence) to the locks
+	// definitely held when that instruction executes.
+	heldAt map[instrRef][]Key
+	// balanced records procedures whose body acquires and releases
+	// symmetrically; unbalanced procedures poison their callers.
+	balanced map[string]bool
+}
+
+type instrRef struct {
+	block ir.BlockID
+	seq   int
+}
+
+// HeldAt returns the locks definitely held when the seq-th field-touching
+// instruction of the block executes (nil when unknown or none).
+func (in *Info) HeldAt(b ir.BlockID, seq int) []Key { return in.heldAt[instrRef{b, seq}] }
+
+// Balanced reports whether the procedure's lock discipline was analyzable
+// (every path releases what it acquires).
+func (in *Info) Balanced(proc string) bool { return in.balanced[proc] }
+
+// MutualExclusion returns an oracle telling the FLG that two field accesses
+// cannot be concurrent: they share a held lock on a shared instance.
+func (in *Info) MutualExclusion() func(b1 ir.BlockID, s1 int, b2 ir.BlockID, s2 int) bool {
+	return func(b1 ir.BlockID, s1 int, b2 ir.BlockID, s2 int) bool {
+		h1 := in.heldAt[instrRef{b1, s1}]
+		if len(h1) == 0 {
+			return false
+		}
+		h2 := in.heldAt[instrRef{b2, s2}]
+		if len(h2) == 0 {
+			return false
+		}
+		for _, k1 := range h1 {
+			if !k1.SharedInstance() {
+				continue
+			}
+			for _, k2 := range h2 {
+				if k1 == k2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// Analyze runs the analysis. entries names the procedures threads may start
+// in; they (and procedures with no call sites) are analyzed with an empty
+// entry lock set. Procedures reached only through calls inherit the
+// intersection of their call sites' held sets.
+func Analyze(p *ir.Program, entries []string) (*Info, error) {
+	isEntry := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if p.Proc(e) == nil {
+			return nil, fmt.Errorf("locks: unknown entry procedure %q", e)
+		}
+		isEntry[e] = true
+	}
+	info := &Info{
+		heldAt:   make(map[instrRef][]Key),
+		balanced: make(map[string]bool),
+	}
+	a := &analyzer{prog: p, info: info, callCtx: make(map[string][]lockSet)}
+
+	order, err := topoOrder(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range order {
+		entrySet := lockSet{}
+		if !isEntry[pr.Name] {
+			if ctxs, ok := a.callCtx[pr.Name]; ok && len(ctxs) > 0 {
+				entrySet = intersectAll(ctxs)
+			}
+			// No call sites and not an entry: unreachable; analyze with ∅.
+		}
+		a.analyzeProc(pr, entrySet)
+	}
+	return info, nil
+}
+
+// lockSet is an ordered set of keys (small; linear ops suffice).
+type lockSet []Key
+
+func (s lockSet) has(k Key) bool {
+	for _, x := range s {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s lockSet) add(k Key) lockSet {
+	if s.has(k) {
+		return s
+	}
+	out := append(append(lockSet{}, s...), k)
+	return out
+}
+
+func (s lockSet) remove(k Key) lockSet {
+	out := make(lockSet, 0, len(s))
+	for _, x := range s {
+		if x != k {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (s lockSet) clone() lockSet { return append(lockSet{}, s...) }
+
+func (s lockSet) equal(o lockSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for _, k := range s {
+		if !o.has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for _, k := range a {
+		if b.has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func intersectAll(sets []lockSet) lockSet {
+	out := sets[0].clone()
+	for _, s := range sets[1:] {
+		out = intersect(out, s)
+	}
+	return out
+}
+
+// analyzer carries shared state.
+type analyzer struct {
+	prog *ir.Program
+	info *Info
+	// callCtx collects, per callee, the held set at each call site.
+	callCtx map[string][]lockSet
+}
+
+// analyzeProc walks the execution tree with a running held set.
+func (a *analyzer) analyzeProc(pr *ir.Procedure, entry lockSet) {
+	exit, ok := a.walk(pr.Tree, entry.clone())
+	a.info.balanced[pr.Name] = ok && exit.equal(entry)
+}
+
+// walk processes nodes, returning the held set at exit and whether the
+// walk stayed analyzable.
+func (a *analyzer) walk(nodes []ir.ExecNode, held lockSet) (lockSet, bool) {
+	ok := true
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.ExecBlock:
+			held = a.walkBlock(n.Block, held)
+		case *ir.ExecLoop:
+			// One symbolic iteration; require balance, otherwise drop to ∅
+			// (a loop that accumulates locks would deadlock at runtime).
+			after, bodyOK := a.walk(n.Body, held.clone())
+			if !bodyOK || !after.equal(held) {
+				ok = false
+				held = lockSet{}
+			}
+		case *ir.ExecIf:
+			thenOut, thenOK := a.walk(n.Then, held.clone())
+			elseOut, elseOK := a.walk(n.Else, held.clone())
+			if !thenOK || !elseOK {
+				ok = false
+			}
+			held = intersect(thenOut, elseOut)
+		}
+	}
+	return held, ok
+}
+
+// walkBlock processes one block's instructions, recording held sets for
+// field-touching instructions by their FieldInstrs sequence number.
+func (a *analyzer) walkBlock(b *ir.BasicBlock, held lockSet) lockSet {
+	seq := 0
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpLock:
+			// The acquire itself is not protected by the lock it takes.
+			a.record(b.Global, seq, held)
+			held = held.add(Key{Struct: in.Struct.Name, Field: in.Field, Inst: in.Inst})
+			seq++
+		case ir.OpUnlock:
+			// The release write still happens under the lock.
+			a.record(b.Global, seq, held)
+			held = held.remove(Key{Struct: in.Struct.Name, Field: in.Field, Inst: in.Inst})
+			seq++
+		case ir.OpField:
+			a.record(b.Global, seq, held)
+			seq++
+		case ir.OpCall:
+			a.callCtx[in.Callee] = append(a.callCtx[in.Callee], held.clone())
+		}
+	}
+	return held
+}
+
+func (a *analyzer) record(b ir.BlockID, seq int, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	a.info.heldAt[instrRef{b, seq}] = held.clone()
+}
+
+// topoOrder returns procedures with callers before callees (valid because
+// ir.Finalize rejects recursion). Ties break by name for determinism.
+func topoOrder(p *ir.Program) ([]*ir.Procedure, error) {
+	callees := make(map[string]map[string]bool)
+	callers := make(map[string]int)
+	for _, pr := range p.Procs {
+		callers[pr.Name] += 0
+		for _, b := range pr.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if callees[pr.Name] == nil {
+					callees[pr.Name] = make(map[string]bool)
+				}
+				if !callees[pr.Name][in.Callee] {
+					callees[pr.Name][in.Callee] = true
+					callers[in.Callee]++
+				}
+			}
+		}
+	}
+	var ready []string
+	for name, n := range callers {
+		if n == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready)
+	var order []*ir.Procedure
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		order = append(order, p.Proc(name))
+		var next []string
+		for callee := range callees[name] {
+			callers[callee]--
+			if callers[callee] == 0 {
+				next = append(next, callee)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != len(p.Procs) {
+		return nil, fmt.Errorf("locks: call graph not acyclic")
+	}
+	return order, nil
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"structlayout/internal/affinity"
+	"structlayout/internal/cluster"
+	"structlayout/internal/flg"
+	"structlayout/internal/ir"
+	"structlayout/internal/layout"
+)
+
+func fixture(t testing.TB) (*flg.Graph, cluster.Result, *layout.Layout, *layout.Layout) {
+	t.Helper()
+	st := ir.NewStruct("S", ir.I64("hot1"), ir.I64("hot2"), ir.I64("wr"), ir.I64("cold"))
+	hot := map[int]float64{0: 100, 1: 90, 2: 40, 3: 1}
+	ag := &affinity.Graph{Struct: st, Weights: map[[2]int]float64{}, Hotness: hot}
+	g := &flg.Graph{
+		Struct:   st,
+		Gain:     map[[2]int]float64{{0, 1}: 500},
+		Loss:     map[[2]int]float64{{0, 2}: 300, {1, 2}: 250},
+		Hotness:  hot,
+		Affinity: ag,
+	}
+	res := cluster.Greedy(g, 128)
+	lay, err := layout.PackClusters(st, "flg-auto", res.Clusters, 128,
+		layout.PackOptions{Separate: cluster.SeparatePredicate(g, res.Clusters)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res, lay, layout.Original(st, 128)
+}
+
+func TestReportContents(t *testing.T) {
+	g, res, lay, orig := fixture(t)
+	r := &Report{Graph: g, Clustering: res, Suggested: lay, Original: orig, TopEdges: 5}
+	text := r.String()
+	for _, want := range []string{
+		"layout advisory for struct S",
+		"intra-cluster weight",
+		"inter-cluster weight",
+		"large positive edges",
+		"hot1                 ~ hot2",
+		"large negative edges",
+		"x wr", // most negative listed (hot1 x wr)
+		"suggested layout",
+		"C definition",
+		"uint64_t",
+		"original layout",
+		"movement",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReportWithoutOriginal(t *testing.T) {
+	g, res, lay, _ := fixture(t)
+	r := &Report{Graph: g, Clustering: res, Suggested: lay}
+	text := r.String()
+	if strings.Contains(text, "original layout") {
+		t.Fatal("report should omit the original section when absent")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	_, _, lay, orig := fixture(t)
+	d := Diff(orig, lay)
+	if strings.Contains(d, "no fields changed") {
+		t.Fatalf("expected movement between layouts:\n%s", d)
+	}
+	same := Diff(orig, orig)
+	if !strings.Contains(same, "no fields changed") {
+		t.Fatalf("identical layouts should report no movement: %s", same)
+	}
+}

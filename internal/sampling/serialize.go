@@ -1,0 +1,63 @@
+package sampling
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"structlayout/internal/ir"
+)
+
+// traceJSON is the on-disk form of a Trace. Samples are stored as parallel
+// arrays: sample files for long runs are large, and this keeps them compact
+// and fast to decode.
+type traceJSON struct {
+	IntervalCycles int64   `json:"interval_cycles"`
+	NumCPUs        int     `json:"num_cpus"`
+	CPU            []int   `json:"cpu"`
+	Block          []int32 `json:"block"`
+	ITC            []int64 `json:"itc"`
+}
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{
+		IntervalCycles: t.IntervalCycles,
+		NumCPUs:        t.NumCPUs,
+		CPU:            make([]int, len(t.Samples)),
+		Block:          make([]int32, len(t.Samples)),
+		ITC:            make([]int64, len(t.Samples)),
+	}
+	for i, s := range t.Samples {
+		out.CPU[i] = s.CPU
+		out.Block[i] = int32(s.Block)
+		out.ITC[i] = s.ITC
+	}
+	return json.NewEncoder(w).Encode(&out)
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sampling: decode trace: %w", err)
+	}
+	if len(in.CPU) != len(in.Block) || len(in.CPU) != len(in.ITC) {
+		return nil, fmt.Errorf("sampling: trace arrays disagree: %d/%d/%d", len(in.CPU), len(in.Block), len(in.ITC))
+	}
+	if in.IntervalCycles <= 0 || in.NumCPUs <= 0 {
+		return nil, fmt.Errorf("sampling: trace metadata invalid (interval %d, cpus %d)", in.IntervalCycles, in.NumCPUs)
+	}
+	t := &Trace{
+		IntervalCycles: in.IntervalCycles,
+		NumCPUs:        in.NumCPUs,
+		Samples:        make([]Sample, len(in.CPU)),
+	}
+	for i := range in.CPU {
+		if in.CPU[i] < 0 || in.CPU[i] >= in.NumCPUs {
+			return nil, fmt.Errorf("sampling: sample %d has cpu %d out of range", i, in.CPU[i])
+		}
+		t.Samples[i] = Sample{CPU: in.CPU[i], Block: ir.BlockID(in.Block[i]), ITC: in.ITC[i]}
+	}
+	return t, nil
+}

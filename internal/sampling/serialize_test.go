@@ -1,0 +1,51 @@
+package sampling
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	_, blocks := testBlocks(t)
+	c, _ := NewCollector(Config{IntervalCycles: 25, DriftMaxCycles: 2, LossProb: 0.1, Seed: 4}, 3)
+	c.Tick(0, 2000, blocks[0])
+	c.Tick(1, 1500, blocks[1])
+	c.Tick(2, 1800, blocks[0])
+	tr := c.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IntervalCycles != tr.IntervalCycles || got.NumCPUs != tr.NumCPUs {
+		t.Fatalf("metadata differs: %+v vs %+v", got, tr)
+	}
+	if len(got.Samples) != len(tr.Samples) {
+		t.Fatalf("sample count %d vs %d", len(got.Samples), len(tr.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != tr.Samples[i] {
+			t.Fatalf("sample %d: %+v vs %+v", i, got.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"interval_cycles":0,"num_cpus":1,"cpu":[],"block":[],"itc":[]}`,
+		`{"interval_cycles":10,"num_cpus":0,"cpu":[],"block":[],"itc":[]}`,
+		`{"interval_cycles":10,"num_cpus":1,"cpu":[0],"block":[],"itc":[1]}`,
+		`{"interval_cycles":10,"num_cpus":1,"cpu":[5],"block":[0],"itc":[1]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}

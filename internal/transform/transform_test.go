@@ -1,0 +1,119 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/profile"
+)
+
+// hotColdProgram: two hot fields, one warm, many cold, two never touched.
+func hotColdProgram(t testing.TB) (*ir.Program, *ir.StructType, *profile.Profile) {
+	t.Helper()
+	p := ir.NewProgram("hc")
+	fields := []ir.Field{
+		ir.I64("hot_a"), ir.I64("hot_b"), ir.I64("warm"),
+		ir.Arr("cold_buf", 32, 8, 8), // 256 bytes of cold state
+		ir.I64("cold_x"), ir.I64("dead_y"), ir.I64("dead_z"),
+	}
+	s := ir.NewStruct("S", fields...)
+	p.AddStruct(s)
+	b := p.NewProc("main")
+	b.Loop(10000, func(b *ir.Builder) {
+		b.Read(s, "hot_a", ir.Shared(0))
+		b.Write(s, "hot_b", ir.Shared(0))
+	})
+	b.Loop(50, func(b *ir.Builder) {
+		b.Read(s, "warm", ir.Shared(0))
+	})
+	b.Read(s, "cold_buf", ir.Shared(0))
+	b.Read(s, "cold_x", ir.Shared(0))
+	b.Done()
+	p.MustFinalize()
+	pf, err := profile.StaticEstimate(p, []string{"main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s, pf
+}
+
+func TestSplitPartitionsByHeat(t *testing.T) {
+	p, s, pf := hotColdProgram(t)
+	adv := Split(p, pf, s, Options{})
+	hotSet := map[int]bool{}
+	for _, fi := range adv.Hot {
+		hotSet[fi] = true
+	}
+	if !hotSet[s.FieldIndex("hot_a")] || !hotSet[s.FieldIndex("hot_b")] {
+		t.Fatalf("hot fields misclassified: %v", adv.Hot)
+	}
+	// warm = 50 refs vs hottest 10000: below the 1% threshold -> cold.
+	if hotSet[s.FieldIndex("warm")] {
+		t.Fatal("warm should be cold at the default threshold")
+	}
+	if len(adv.Dead) != 2 {
+		t.Fatalf("dead = %v, want the two never-touched fields", adv.Dead)
+	}
+	// Partition covers every field exactly once.
+	if len(adv.Hot)+len(adv.Cold) != s.NumFields() {
+		t.Fatalf("partition sizes %d+%d != %d", len(adv.Hot), len(adv.Cold), s.NumFields())
+	}
+	if !adv.Worthwhile() {
+		t.Fatalf("split should shrink the footprint: %+v", adv)
+	}
+	if adv.HotLines >= adv.OrigLines {
+		t.Fatalf("hot lines %d not below original %d", adv.HotLines, adv.OrigLines)
+	}
+}
+
+func TestSplitThresholdKnob(t *testing.T) {
+	p, s, pf := hotColdProgram(t)
+	// A generous threshold keeps warm hot.
+	adv := Split(p, pf, s, Options{ColdFraction: 0.001})
+	for _, fi := range adv.Cold {
+		if fi == s.FieldIndex("warm") {
+			t.Fatal("warm should be hot at 0.1% threshold")
+		}
+	}
+}
+
+func TestSplitCutWeight(t *testing.T) {
+	p, s, pf := hotColdProgram(t)
+	weights := map[[2]int]float64{
+		{s.FieldIndex("hot_a"), s.FieldIndex("warm")}:  42, // crosses the cut
+		{s.FieldIndex("hot_a"), s.FieldIndex("hot_b")}: 7,  // stays hot-side
+	}
+	adv := Split(p, pf, s, Options{AffinityWeights: weights})
+	if adv.CutWeight != 42 {
+		t.Fatalf("cut weight = %v, want 42", adv.CutWeight)
+	}
+}
+
+func TestSplitAllHot(t *testing.T) {
+	p := ir.NewProgram("allhot")
+	s := ir.NewStruct("S", ir.I64("a"), ir.I64("b"))
+	p.AddStruct(s)
+	b := p.NewProc("main")
+	b.Loop(100, func(b *ir.Builder) {
+		b.Read(s, "a", ir.Shared(0))
+		b.Read(s, "b", ir.Shared(0))
+	})
+	b.Done()
+	p.MustFinalize()
+	pf, _ := profile.StaticEstimate(p, []string{"main"})
+	adv := Split(p, pf, s, Options{})
+	if len(adv.Cold) != 0 || adv.Worthwhile() {
+		t.Fatalf("uniformly hot struct should not split: %+v", adv)
+	}
+}
+
+func TestAdvisoryText(t *testing.T) {
+	p, s, pf := hotColdProgram(t)
+	text := Split(p, pf, s, Options{}).String()
+	for _, want := range []string{"hot/cold split advisory", "dead (never referenced): dead_y dead_z", "verdict: worthwhile"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("advisory missing %q:\n%s", want, text)
+		}
+	}
+}

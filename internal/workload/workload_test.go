@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/machine"
+)
+
+func newSuite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := NewSuite(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStructShapesMatchPaper(t *testing.T) {
+	a := StructA()
+	if n := a.Type.NumFields(); n <= 100 {
+		t.Fatalf("struct A has %d fields; the paper's A has more than one hundred", n)
+	}
+	for _, ks := range AllStructs() {
+		if ks.Type.NumFields() < 20 {
+			t.Fatalf("struct %s has only %d fields; B..E should have many", ks.Label, ks.Type.NumFields())
+		}
+		lay := ks.Baseline(128)
+		if err := lay.Validate(); err != nil {
+			t.Fatalf("struct %s baseline: %v", ks.Label, err)
+		}
+		if lay.NumLines() < 2 {
+			t.Fatalf("struct %s spans %d lines; transformed layouts must span multiple cache lines (§5.1)",
+				ks.Label, lay.NumLines())
+		}
+	}
+}
+
+func TestBaselineAIsolation(t *testing.T) {
+	a := StructA()
+	lay := a.Baseline(128)
+	// Each statistics counter must own its cache line (no other stat and no
+	// hot read field on it).
+	for i := 0; i < NumStatClasses; i++ {
+		si := a.Type.FieldIndex(nameStat(i))
+		for j := 0; j < NumStatClasses; j++ {
+			if i == j {
+				continue
+			}
+			if lay.SameLine(si, a.Type.FieldIndex(nameStat(j))) {
+				t.Fatalf("baseline A: stat%d and stat%d share a line", i, j)
+			}
+		}
+		for _, hot := range []string{"pt_state", "pt_pid", "pt_vm0"} {
+			if lay.SameLine(si, a.Type.FieldIndex(hot)) {
+				t.Fatalf("baseline A: stat%d shares a line with %s", i, hot)
+			}
+		}
+	}
+	// The planted mistake: pt_seq lives in the hot read line.
+	if !lay.SameLine(a.Type.FieldIndex("pt_seq"), a.Type.FieldIndex("pt_state")) {
+		t.Fatal("baseline A: pt_seq should share the hot line (the planted hazard)")
+	}
+	// pt_load is isolated from the hot reads.
+	if lay.SameLine(a.Type.FieldIndex("pt_load"), a.Type.FieldIndex("pt_state")) {
+		t.Fatal("baseline A: pt_load must not share the hot read line")
+	}
+	// The VM walk group is contiguous on one line.
+	for i := 1; i < 6; i++ {
+		if !lay.SameLine(a.Type.FieldIndex("pt_vm0"), a.Type.FieldIndex(nameVM(i))) {
+			t.Fatalf("baseline A: pt_vm0 and pt_vm%d on different lines", i)
+		}
+	}
+}
+
+func nameStat(i int) string { return "pt_stat" + string(rune('0'+i)) }
+func nameVM(i int) string   { return "pt_vm" + string(rune('0'+i)) }
+
+func TestBaselineBPlantedRefcnt(t *testing.T) {
+	b := StructB()
+	lay := b.Baseline(128)
+	st := b.Type
+	if !lay.SameLine(st.FieldIndex("vn_refcnt"), st.FieldIndex("vn_type")) {
+		t.Fatal("baseline B: vn_refcnt should share the hot line (the planted hazard)")
+	}
+	if !lay.SameLine(st.FieldIndex("vn_hash"), st.FieldIndex("vn_next")) {
+		t.Fatal("baseline B: the hash-chain pair should be together")
+	}
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := newSuite(t)
+	if s.Prog.NumBlocks() == 0 {
+		t.Fatal("program has no blocks")
+	}
+	for _, label := range Labels() {
+		if s.Struct(label) == nil {
+			t.Fatalf("missing struct %s", label)
+		}
+	}
+	for cpu := 0; cpu < 16; cpu++ {
+		if s.Prog.Proc(s.EntryFor(cpu)) == nil {
+			t.Fatalf("missing entry proc for cpu %d", cpu)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := DefaultParams()
+	bad.ScanInstances = 0
+	if _, err := NewSuite(bad); err == nil {
+		t.Fatal("zero ScanInstances accepted")
+	}
+	bad = DefaultParams()
+	bad.SeqWriteProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad SeqWriteProb accepted")
+	}
+	bad = DefaultParams()
+	bad.LoadWriteProb = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad LoadWriteProb accepted")
+	}
+	bad = DefaultParams()
+	bad.NumMounts = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero NumMounts accepted")
+	}
+	bad = DefaultParams()
+	bad.Cache.Sets = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad cache accepted")
+	}
+}
+
+func TestThreadParamsPrivateInstancesDistinct(t *testing.T) {
+	s := newSuite(t)
+	seenProc := map[int]bool{}
+	seenVnode := map[int]bool{}
+	for cpu := 0; cpu < 128; cpu++ {
+		ps := s.ThreadParams(cpu, 1)
+		if seenProc[ps[ParamProc]] {
+			t.Fatalf("proc instance %d reused", ps[ParamProc])
+		}
+		seenProc[ps[ParamProc]] = true
+		if seenVnode[ps[ParamVnode]] {
+			t.Fatalf("vnode instance %d reused", ps[ParamVnode])
+		}
+		seenVnode[ps[ParamVnode]] = true
+		if ps[ParamVnode] < s.Params.NumMounts {
+			t.Fatalf("vnode instance %d collides with mounts", ps[ParamVnode])
+		}
+		if ps[ParamProc] == 0 {
+			t.Fatal("no thread may own the shared proc entry (instance 0)")
+		}
+		if ps[ParamMount] < 0 || ps[ParamMount] >= s.Params.NumMounts {
+			t.Fatalf("mount index %d out of range", ps[ParamMount])
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	s := newSuite(t)
+	base := s.BaselineLayouts(128)
+	topo := machine.Way16()
+	r1, err := s.RunOnce(topo, base, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunOnce(topo, base, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Completed != r2.Completed {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", r1.Cycles, r1.Completed, r2.Cycles, r2.Completed)
+	}
+	if r1.Coherence != r2.Coherence {
+		t.Fatalf("coherence stats differ:\n%+v\n%+v", r1.Coherence, r2.Coherence)
+	}
+}
+
+func TestSeedsVaryOutcome(t *testing.T) {
+	s := newSuite(t)
+	base := s.BaselineLayouts(128)
+	topo := machine.Bus4()
+	r1, _ := s.RunOnce(topo, base, 1, nil)
+	r2, _ := s.RunOnce(topo, base, 2, nil)
+	if r1.Cycles == r2.Cycles {
+		t.Fatal("different seeds produced identical cycle counts; runs would have zero variance")
+	}
+}
+
+func TestThroughputMetric(t *testing.T) {
+	s := newSuite(t)
+	topo := machine.Bus4()
+	res, err := s.RunOnce(topo, s.BaselineLayouts(128), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(topo.NumCPUs())*s.Params.ScriptsPerThread {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	tput := Throughput(topo, res)
+	want := float64(res.Completed) / (float64(res.Cycles) / topo.ClockHz) * 3600
+	if tput != want {
+		t.Fatalf("throughput = %v, want %v", tput, want)
+	}
+}
+
+func TestMeasureProtocol(t *testing.T) {
+	s := newSuite(t)
+	m, err := s.Measure(machine.Bus4(), s.BaselineLayouts(128), 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 4 || m.Mean <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if _, err := s.Measure(machine.Bus4(), nil, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestCollectProducesProfileAndTrace(t *testing.T) {
+	s := newSuite(t)
+	pf, trace, err := s.Collect(machine.Way16(), s.BaselineLayouts(128), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf == nil || trace == nil || len(trace.Samples) == 0 {
+		t.Fatal("collection produced no data")
+	}
+	nonzero := 0
+	for _, c := range pf.Blocks {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < s.Prog.NumBlocks()/2 {
+		t.Fatalf("only %d of %d blocks executed", nonzero, s.Prog.NumBlocks())
+	}
+}
+
+func TestPrivateAliasOracle(t *testing.T) {
+	s := newSuite(t)
+	oracle := PrivateAliasOracle(s.Prog)
+	var privBlock, sharedBlock, mountBlock ir.BlockID = -1, -1, -1
+	for _, blk := range s.Prog.Blocks() {
+		instrs := blk.FieldInstrs()
+		if len(instrs) == 0 {
+			continue
+		}
+		allPriv, anyShared, anyMount := true, false, false
+		for _, in := range instrs {
+			switch in.Inst.Kind {
+			case ir.InstShared, ir.InstLoopVar:
+				anyShared = true
+				allPriv = false
+			case ir.InstParam:
+				if in.Inst.Index == ParamMount {
+					anyMount = true
+					allPriv = false
+				}
+			}
+		}
+		if allPriv && privBlock < 0 {
+			privBlock = blk.Global
+		}
+		if anyShared && sharedBlock < 0 {
+			sharedBlock = blk.Global
+		}
+		if anyMount && mountBlock < 0 {
+			mountBlock = blk.Global
+		}
+	}
+	if privBlock < 0 || sharedBlock < 0 || mountBlock < 0 {
+		t.Fatalf("blocks not found: priv=%d shared=%d mount=%d", privBlock, sharedBlock, mountBlock)
+	}
+	if !oracle(privBlock, privBlock) {
+		t.Fatal("two private blocks should be non-aliasing")
+	}
+	if oracle(privBlock, sharedBlock) {
+		t.Fatal("shared-instance block must alias")
+	}
+	if oracle(privBlock, mountBlock) {
+		t.Fatal("mount block must alias")
+	}
+}
+
+func TestWithLayoutDoesNotMutate(t *testing.T) {
+	s := newSuite(t)
+	base := s.BaselineLayouts(128)
+	alt := s.Struct("A").Baseline(128)
+	alt.Name = "alt"
+	derived := base.WithLayout("A", alt)
+	if base["A"].Name == "alt" {
+		t.Fatal("WithLayout mutated the receiver")
+	}
+	if derived["A"].Name != "alt" || derived["B"] != base["B"] {
+		t.Fatal("WithLayout result wrong")
+	}
+}
+
+// TestBaselineFingerprints pins the hand-tuned baseline layouts. The
+// experiment calibration (EXPERIMENTS.md) depends on these exact layouts;
+// if a struct definition or baseline order changes, the figures must be
+// recalibrated and these fingerprints updated deliberately.
+func TestBaselineFingerprints(t *testing.T) {
+	want := map[string]string{
+		"A": "dde70bbaf8bd832b",
+		"B": "7476001bf17d6216",
+		"C": "09ecc28f0e842a7c",
+		"D": "345fe140506488f9",
+		"E": "9b7b02fa8ed2b19e",
+	}
+	for _, ks := range AllStructs() {
+		h := sha256.Sum256([]byte(ks.Baseline(128).Dump()))
+		got := fmt.Sprintf("%x", h[:8])
+		if got != want[ks.Label] {
+			t.Errorf("struct %s baseline fingerprint %s != %s — baseline changed; "+
+				"recalibrate the experiments and update EXPERIMENTS.md before updating this test",
+				ks.Label, got, want[ks.Label])
+		}
+	}
+}
