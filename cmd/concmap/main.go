@@ -7,6 +7,11 @@
 // of source lines, and writes the map as text ("fileA:lineA fileB:lineB
 // cc"). With -top it prints only the highest-concurrency pairs, which is
 // what a programmer scans for false-sharing suspects.
+//
+// Malformed traces never crash the tool: structurally broken files are
+// rejected with exit status 1, and semantically damaged samples (impossible
+// CPU or block ids, absurd timestamps, duplicates) are dropped with a
+// data-quality report on stderr before the map is computed.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"structlayout/internal/concurrency"
+	"structlayout/internal/diag"
 	"structlayout/internal/sampling"
 	"structlayout/internal/workload"
 )
@@ -51,6 +57,17 @@ func run(traceIn string, slice int64, top int, out string) error {
 	f.Close()
 	if err != nil {
 		return err
+	}
+
+	// Drop samples that would poison the map (or panic the line lookup
+	// below): CPU/block ids outside the program, absurd timestamps, dups.
+	log := diag.NewLog()
+	trace = sampling.Sanitize(trace, suite.Prog.NumBlocks(), log)
+	if log.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "concmap: trace quality:\n%s", log)
+	}
+	if len(trace.Samples) == 0 {
+		return fmt.Errorf("no usable samples remain after sanitization")
 	}
 
 	cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: slice})

@@ -56,3 +56,27 @@ func TestConcmapMissingTrace(t *testing.T) {
 		t.Fatal("missing trace accepted")
 	}
 }
+
+// TestConcmapSurvivesMalformedTraces: every malformed input must come back
+// as an error (the CLI exits 1), never a panic — including semantically
+// hostile samples that pass the structural decoder, like block ids far
+// beyond the program (which would index out of range in the -top printer).
+func TestConcmapSurvivesMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"not-json":     `]]]`,
+		"neg-interval": `{"interval_cycles":-5,"num_cpus":2,"cpu":[0],"block":[0],"itc":[100]}`,
+		"len-mismatch": `{"interval_cycles":100,"num_cpus":2,"cpu":[0,1],"block":[0],"itc":[100]}`,
+		"all-junk-samples": `{"interval_cycles":100,"num_cpus":2,` +
+			`"cpu":[0,1],"block":[1000000,2000000],"itc":[100,200]}`,
+	}
+	dir := t.TempDir()
+	for name, body := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(path, 1000, 5, filepath.Join(dir, name+".out")); err == nil {
+			t.Errorf("%s: malformed trace accepted", name)
+		}
+	}
+}

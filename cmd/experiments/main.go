@@ -4,6 +4,7 @@
 //	experiments fig9       Figure 9: auto vs baseline, 4-way
 //	experiments fig10      Figure 10: best layout per struct, 128-way
 //	experiments stability  §4.3: concurrency-map stability across machines
+//	experiments robustness fault-severity sweep: layout quality vs corrupted inputs
 //	experiments all        everything
 //
 // The absolute throughputs come from the machine simulator, not an HP
@@ -19,13 +20,15 @@ import (
 	"time"
 
 	"structlayout/internal/experiments"
+	"structlayout/internal/faults"
 )
 
 func main() {
 	var (
-		runs  = flag.Int("runs", 10, "measured runs per configuration (the paper uses 10)")
-		quick = flag.Bool("quick", false, "3 runs per configuration for a fast look")
-		seed  = flag.Int64("seed", 20070311, "base seed")
+		runs   = flag.Int("runs", 10, "measured runs per configuration (the paper uses 10)")
+		quick  = flag.Bool("quick", false, "3 runs per configuration for a fast look")
+		seed   = flag.Int64("seed", 20070311, "base seed")
+		inject = flag.String("inject", "", `fault shape swept by the robustness experiment (default "all=1"); see docs/FAULTS.md`)
 	)
 	flag.Parse()
 	what := flag.Arg(0)
@@ -38,14 +41,23 @@ func main() {
 		cfg.Runs = 3
 	}
 	cfg.BaseSeed = *seed
+	var spec *faults.Spec
+	if *inject != "" {
+		var err error
+		spec, err = faults.ParseSpec(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	}
 
-	if err := run(what, cfg); err != nil {
+	if err := run(what, cfg, spec); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(what string, cfg experiments.Config) error {
+func run(what string, cfg experiments.Config, spec *faults.Spec) error {
 	start := time.Now()
 	fmt.Printf("collection phase on %s...\n", cfg.CollectTopo.Name)
 	p, err := experiments.NewPipeline(cfg)
@@ -99,8 +111,16 @@ func run(what string, cfg experiments.Config) error {
 			fmt.Println(experiments.PredictionReport(rows))
 			return nil
 		}},
+		"robustness": {"Fault robustness", func() error {
+			r, err := experiments.Robustness(cfg, spec, nil, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
 	}
-	order := []string{"fig8", "fig9", "fig10", "stability", "predict"}
+	order := []string{"fig8", "fig9", "fig10", "stability", "predict", "robustness"}
 
 	if what == "all" {
 		for _, k := range order {
@@ -113,7 +133,7 @@ func run(what string, cfg experiments.Config) error {
 	}
 	j, ok := jobs[what]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict or all)", what)
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict, robustness or all)", what)
 	}
 	if err := j.fn(); err != nil {
 		return err

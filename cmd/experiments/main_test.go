@@ -9,7 +9,7 @@ import (
 func TestRunFig9Quick(t *testing.T) {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = 1
-	if err := run("fig9", cfg); err != nil {
+	if err := run("fig9", cfg, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +17,7 @@ func TestRunFig9Quick(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = 1
-	if err := run("fig99", cfg); err == nil {
+	if err := run("fig99", cfg, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"structlayout/internal/core"
 	"structlayout/internal/driver"
+	"structlayout/internal/faults"
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/flg"
 	"structlayout/internal/irtext"
@@ -56,15 +57,21 @@ func main() {
 		profileIn   = flag.String("profile", "", "read the profile from this JSON file instead of collecting")
 		traceIn     = flag.String("trace", "", "read the sample trace from this JSON file instead of collecting")
 		dumpDir     = flag.String("dump", "", "write profile.json, trace.json, concmap.txt and fmf.txt to this directory")
+		injectSpec  = flag.String("inject", "", `measurement-fault injection spec, e.g. "loss=0.5,drift=0.3,seed=7" or "all=0.5" (docs/FAULTS.md)`)
+		strict      = flag.Bool("strict", false, "treat degraded measurement data as fatal instead of degrading gracefully")
 	)
 	flag.Parse()
-	var err error
+	spec, err := faults.ParseSpec(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layouttool:", err)
+		os.Exit(2)
+	}
 	if *rank {
-		err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2)
+		err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2, spec, *strict)
 	} else if *programIn != "" {
-		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut)
+		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut, spec, *strict)
 	} else {
-		err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut)
+		err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut, spec, *strict)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "layouttool:", err)
@@ -74,8 +81,8 @@ func main() {
 
 // runRank prints the whole-program struct ranking (the §5.1 key-structure
 // identification step) for the built-in workload or a DSL program.
-func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64) error {
-	topo, err := topoByName(collectOn)
+func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, spec *faults.Spec, strict bool) error {
+	topo, err := machine.ByName(collectOn)
 	if err != nil {
 		return err
 	}
@@ -93,9 +100,11 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64) e
 		if err != nil {
 			return err
 		}
-		analysis, err = core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
+		analysis, err = core.NewAnalysis(file.Prog, spec.ApplyProfile(res.Profile), spec.ApplyTrace(res.Trace), core.Options{
 			LineSize:    128,
 			SliceCycles: res.Cycles/64 + 1,
+			Strict:      strict,
+			FMF:         spec.ApplyFMF(fieldmap.Build(file.Prog), file.Prog),
 			FLG:         flg.Options{K1: k1, K2: k2},
 		})
 		if err != nil {
@@ -112,9 +121,11 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64) e
 		if err != nil {
 			return err
 		}
-		analysis, err = core.NewAnalysis(suite.Prog, pf, trace, core.Options{
+		analysis, err = core.NewAnalysis(suite.Prog, spec.ApplyProfile(pf), spec.ApplyTrace(trace), core.Options{
 			LineSize:    int(params.Cache.LineSize),
 			SliceCycles: workload.CollectSliceCycles,
+			Strict:      strict,
+			FMF:         spec.ApplyFMF(fieldmap.Build(suite.Prog), suite.Prog),
 			FLG:         flg.Options{K1: k1, K2: k2, AliasOracle: workload.PrivateAliasOracle(suite.Prog)},
 		})
 		if err != nil {
@@ -130,7 +141,7 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64) e
 }
 
 // runProgramFile drives the tool over a user-supplied irtext program.
-func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string) error {
+func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string, spec *faults.Spec, strict bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -139,7 +150,7 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 	if err != nil {
 		return err
 	}
-	topo, err := topoByName(collectOn)
+	topo, err := machine.ByName(collectOn)
 	if err != nil {
 		return err
 	}
@@ -161,16 +172,21 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		return err
 	}
 	fmt.Printf("collected %d samples over %d cycles\n", len(res.Trace.Samples), res.Cycles)
-	analysis, err := core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
+	analysis, err := core.NewAnalysis(file.Prog, spec.ApplyProfile(res.Profile), spec.ApplyTrace(res.Trace), core.Options{
 		LineSize:     cfg.LineSize(),
 		SliceCycles:  res.Cycles/64 + 1, // ~64 slices over the run
 		TopKPositive: topK,
+		Strict:       strict,
+		FMF:          spec.ApplyFMF(fieldmap.Build(file.Prog), file.Prog),
 		FLG:          flg.Options{K1: k1, K2: k2},
 	})
 	if err != nil {
 		return err
 	}
-	orig := layout.Original(st, cfg.LineSize())
+	orig, err := layout.Original(st, cfg.LineSize())
+	if err != nil {
+		return err
+	}
 	if dotOut != "" {
 		if err := writeDOT(analysis, structName, dotOut); err != nil {
 			return err
@@ -194,7 +210,11 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		fmt.Printf("\n-- movement from declaration order --\n%s", report.Diff(orig, best))
 	}
 	if split {
-		fmt.Println(transform.Split(file.Prog, res.Profile, st, transform.Options{LineSize: cfg.LineSize()}))
+		adv, err := transform.Split(file.Prog, res.Profile, st, transform.Options{LineSize: cfg.LineSize()})
+		if err != nil {
+			return err
+		}
+		fmt.Println(adv)
 	}
 	return nil
 }
@@ -217,12 +237,12 @@ func writeDOT(analysis *core.Analysis, structName, path string) error {
 	return nil
 }
 
-func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float64, topK int, noAlias, split bool, profileIn, traceIn, dumpDir, dotOut string) error {
+func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float64, topK int, noAlias, split bool, profileIn, traceIn, dumpDir, dotOut string, spec *faults.Spec, strict bool) error {
 	ks := (&labelSet{}).lookup(structLabel)
 	if ks == "" {
 		return fmt.Errorf("unknown struct %q (want A..E)", structLabel)
 	}
-	topo, err := topoByName(collectOn)
+	topo, err := machine.ByName(collectOn)
 	if err != nil {
 		return err
 	}
@@ -263,14 +283,19 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 		LineSize:     lineSize,
 		SliceCycles:  workload.CollectSliceCycles,
 		TopKPositive: topK,
+		Strict:       strict,
+		FMF:          spec.ApplyFMF(fieldmap.Build(suite.Prog), suite.Prog),
 		FLG:          flg.Options{K1: k1, K2: k2},
 	}
 	if !noAlias {
 		opts.FLG.AliasOracle = workload.PrivateAliasOracle(suite.Prog)
 	}
-	analysis, err := core.NewAnalysis(suite.Prog, pf, trace, opts)
+	analysis, err := core.NewAnalysis(suite.Prog, spec.ApplyProfile(pf), spec.ApplyTrace(trace), opts)
 	if err != nil {
 		return err
+	}
+	if analysis.Diag.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "layouttool: data quality:\n%s", analysis.Diag)
 	}
 
 	if dumpDir != "" {
@@ -309,7 +334,11 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 	}
 	if split {
 		st := suite.Struct(ks).Type
-		fmt.Println(transform.Split(suite.Prog, pf, st, transform.Options{LineSize: lineSize}))
+		adv, err := transform.Split(suite.Prog, pf, st, transform.Options{LineSize: lineSize})
+		if err != nil {
+			return err
+		}
+		fmt.Println(adv)
 	}
 	return nil
 }
@@ -324,19 +353,6 @@ func (labelSet) lookup(s string) string {
 		}
 	}
 	return ""
-}
-
-func topoByName(name string) (*machine.Topology, error) {
-	switch name {
-	case "bus4":
-		return machine.Bus4(), nil
-	case "way16":
-		return machine.Way16(), nil
-	case "superdome128":
-		return machine.Superdome128(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q (want bus4, way16 or superdome128)", name)
-	}
 }
 
 func readProfile(path string, suite *workload.Suite) (*profile.Profile, error) {

@@ -4,12 +4,24 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"structlayout/internal/faults"
 )
+
+// none is the identity fault spec the CLI parses from an empty -inject.
+func none(t *testing.T) *faults.Spec {
+	t.Helper()
+	spec, err := faults.ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
 
 func TestRunBuiltinStruct(t *testing.T) {
 	// Short collection, both modes, with dumps.
 	dir := t.TempDir()
-	if err := run("B", "bus4", "both", 7, 2, 4, 1, 20, false, true, "", "", dir, filepath.Join(dir, "flg.dot")); err != nil {
+	if err := run("B", "bus4", "both", 7, 2, 4, 1, 20, false, true, "", "", dir, filepath.Join(dir, "flg.dot"), none(t), false); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"profile.json", "trace.json", "concmap.txt", "fmf.txt", "flg.dot"} {
@@ -19,7 +31,7 @@ func TestRunBuiltinStruct(t *testing.T) {
 	}
 	// Replay from the dumped profile+trace.
 	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false,
-		filepath.Join(dir, "profile.json"), filepath.Join(dir, "trace.json"), "", ""); err != nil {
+		filepath.Join(dir, "profile.json"), filepath.Join(dir, "trace.json"), "", "", none(t), false); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 }
@@ -41,31 +53,47 @@ thread 3 m iters 3
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, ""); err != nil {
+	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, "", none(t), false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, ""); err == nil {
+	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, "", none(t), false); err == nil {
 		t.Fatal("unknown struct accepted")
 	}
-	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, ""); err == nil {
+	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, "", none(t), false); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
 }
 
 func TestRunRankMode(t *testing.T) {
-	if err := runRank("", "bus4", 3, 2, 4, 1); err != nil {
+	if err := runRank("", "bus4", 3, 2, 4, 1, none(t), false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("Z", "bus4", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+	if err := run("Z", "bus4", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown label accepted")
 	}
-	if err := run("A", "vax", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+	if err := run("A", "vax", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
-	if err := run("A", "bus4", "sideways", 1, 1, 1, 1, 20, false, false, "", "", "", ""); err == nil {
+	if err := run("A", "bus4", "sideways", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestRunInjectedFaultsDegradeGracefully drives the CLI path with a
+// full-severity composed fault spec: the tool must produce an advisory (or
+// a clean error under -strict), never panic.
+func TestRunInjectedFaultsDegradeGracefully(t *testing.T) {
+	spec, err := faults.ParseSpec("all=0.6,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, false); err != nil {
+		t.Fatalf("graceful mode errored on injected faults: %v", err)
+	}
+	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, true); err == nil {
+		t.Fatal("strict mode accepted heavily faulted input")
 	}
 }

@@ -36,7 +36,7 @@ func main() {
 }
 
 func run(machineName, structLabel, layoutName string, runs int, seed int64, verbose bool) error {
-	topo, err := topoByName(machineName)
+	topo, err := machine.ByName(machineName)
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,7 @@ func buildLayout(suite *workload.Suite, label, name string, lineSize int, topo *
 		for fi := range ks.Type.Fields {
 			hot[fi] = counts[profile.FieldKey{Struct: ks.Type.Name, Field: fi}].Total()
 		}
-		return layout.SortByHotness(ks.Type, hot, lineSize), nil
+		return layout.SortByHotness(ks.Type, hot, lineSize)
 	default:
 		return nil, fmt.Errorf("unknown layout %q (want baseline or hotness; use cmd/experiments for auto/best)", name)
 	}
@@ -117,15 +117,3 @@ func indent(s, prefix string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-func topoByName(name string) (*machine.Topology, error) {
-	switch name {
-	case "bus4":
-		return machine.Bus4(), nil
-	case "way16":
-		return machine.Way16(), nil
-	case "superdome128":
-		return machine.Superdome128(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q", name)
-	}
-}

@@ -55,7 +55,10 @@ func main() {
 		log.Fatal(err)
 	}
 	st := file.Prog.Struct("conn")
-	orig := layout.Original(st, cfg.LineSize())
+	orig, err := layout.Original(st, cfg.LineSize())
+	if err != nil {
+		log.Fatal(err)
+	}
 	sugg, err := analysis.Suggest("conn", orig)
 	if err != nil {
 		log.Fatal(err)

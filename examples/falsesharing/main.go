@@ -75,7 +75,10 @@ func run(topo *machine.Topology, lay *layout.Layout, prog *ir.Program) *exec.Res
 func main() {
 	prog, st := buildProgram()
 
-	packed := layout.Original(st, 128) // all 8 counters in one line
+	packed, err := layout.Original(st, 128) // all 8 counters in one line
+	if err != nil {
+		log.Fatal(err)
+	}
 	clusters := make([][]int, numCounters)
 	for i := range clusters {
 		clusters[i] = []int{i}

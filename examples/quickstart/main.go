@@ -66,7 +66,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	original := layout.Original(conn, 128)
+	original, err := layout.Original(conn, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := runner.DefineArena(original, 512); err != nil {
 		log.Fatal(err)
 	}

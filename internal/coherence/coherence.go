@@ -238,15 +238,6 @@ func NewSystem(topo *machine.Topology, cfg Config) (*System, error) {
 	return s, nil
 }
 
-// MustNewSystem panics on config errors.
-func MustNewSystem(topo *machine.Topology, cfg Config) *System {
-	s, err := NewSystem(topo, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Config returns the cache geometry.
 func (s *System) Config() Config { return s.cfg }
 

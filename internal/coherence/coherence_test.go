@@ -8,9 +8,18 @@ import (
 	"structlayout/internal/machine"
 )
 
+func mustSystem(t testing.TB, topo *machine.Topology, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(topo, cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
 func newSD(t testing.TB) *System {
 	t.Helper()
-	return MustNewSystem(machine.Superdome128(), DefaultItanium())
+	return mustSystem(t, machine.Superdome128(), DefaultItanium())
 }
 
 func TestColdMissThenHit(t *testing.T) {
@@ -137,7 +146,7 @@ func TestPingPong(t *testing.T) {
 }
 
 func TestCapacityEvictionIsReplacementMiss(t *testing.T) {
-	s := MustNewSystem(machine.Bus4(), SmallCache())
+	s := mustSystem(t, machine.Bus4(), SmallCache())
 	cfg := s.Config()
 	// Fill one set beyond capacity: lines mapping to set 0 are multiples of
 	// Sets*LineSize.
@@ -153,7 +162,7 @@ func TestCapacityEvictionIsReplacementMiss(t *testing.T) {
 }
 
 func TestDirtyEvictionWritesBack(t *testing.T) {
-	s := MustNewSystem(machine.Bus4(), SmallCache())
+	s := mustSystem(t, machine.Bus4(), SmallCache())
 	cfg := s.Config()
 	strideBytes := int64(cfg.Sets) * cfg.LineSize
 	s.Access(0, 0, 8, true) // dirty line 0
@@ -199,7 +208,7 @@ func TestRFOInvalidatesAllSharers(t *testing.T) {
 func TestInvariantsAfterRandomWorkload(t *testing.T) {
 	for _, topoFn := range []func() *machine.Topology{machine.Bus4, machine.Way16} {
 		topo := topoFn()
-		s := MustNewSystem(topo, SmallCache())
+		s := mustSystem(t, topo, SmallCache())
 		rng := rand.New(rand.NewSource(42))
 		for i := 0; i < 20000; i++ {
 			cpu := rng.Intn(topo.NumCPUs())
@@ -225,7 +234,7 @@ func TestInvariantsProperty(t *testing.T) {
 		Write bool
 	}
 	f := func(ops []op) bool {
-		s := MustNewSystem(topo, SmallCache())
+		s := mustSystem(t, topo, SmallCache())
 		for _, o := range ops {
 			s.Access(int(o.CPU)%topo.NumCPUs(), int64(o.Line)*8, 8, o.Write)
 		}
@@ -290,7 +299,7 @@ func TestMissKindStrings(t *testing.T) {
 func TestMSIHasNoSilentUpgrade(t *testing.T) {
 	cfg := DefaultItanium()
 	cfg.Protocol = MSI
-	s := MustNewSystem(machine.Bus4(), cfg)
+	s := mustSystem(t, machine.Bus4(), cfg)
 	// Lone reader then own write: MESI would upgrade silently via E; MSI
 	// must pay an upgrade transaction.
 	s.Access(0, 0x100, 8, false)
@@ -302,7 +311,7 @@ func TestMSIHasNoSilentUpgrade(t *testing.T) {
 		t.Fatalf("MSI own-write after read: %+v, want upgrade", r)
 	}
 
-	mesi := MustNewSystem(machine.Bus4(), DefaultItanium())
+	mesi := mustSystem(t, machine.Bus4(), DefaultItanium())
 	mesi.Access(0, 0x100, 8, false)
 	if st := mesi.StateOf(0, 0x100); st != Exclusive {
 		t.Fatalf("MESI lone read state = %v, want E", st)
@@ -317,7 +326,7 @@ func TestMSIInvariantsRandom(t *testing.T) {
 	cfg := SmallCache()
 	cfg.Protocol = MSI
 	topo := machine.Way16()
-	s := MustNewSystem(topo, cfg)
+	s := mustSystem(t, topo, cfg)
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 20000; i++ {
 		s.Access(rng.Intn(topo.NumCPUs()), int64(rng.Intn(64))*16, 8, rng.Intn(3) == 0)

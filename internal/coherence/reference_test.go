@@ -99,7 +99,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 	topo := machine.Way16()
 	// Effectively infinite cache: every line maps somewhere with room.
 	cfg := Config{LineSize: 128, Sets: 1024, Ways: 64}
-	sys := MustNewSystem(topo, cfg)
+	sys := mustSystem(t, topo, cfg)
 	ref := newRefModel(topo.NumCPUs())
 
 	rng := rand.New(rand.NewSource(20070311))

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"structlayout/internal/diag"
 	"structlayout/internal/ir"
 	"structlayout/internal/sampling"
 )
@@ -59,6 +60,9 @@ type Options struct {
 	// study). This mirrors the paper's pipeline, which only correlates
 	// lines that appear in the field mapping file.
 	Relevant func(ir.BlockID) bool
+	// Diag, when non-nil, receives data-quality observations (empty trace,
+	// single-CPU trace that can never show concurrency, ...).
+	Diag *diag.Log
 }
 
 // DefaultSliceCycles is 1 ms at the paper's 1.2 GHz clock.
@@ -72,8 +76,18 @@ func Compute(trace *sampling.Trace, opts Options) (*Map, error) {
 	if trace == nil {
 		return nil, fmt.Errorf("concurrency: nil trace")
 	}
+	if len(trace.Samples) == 0 {
+		opts.Diag.Add(diag.Warning, "concurrency", "empty-trace", "trace has no samples; concurrency map will be empty")
+	}
+	if trace.NumCPUs == 1 {
+		opts.Diag.Add(diag.Warning, "concurrency", "single-cpu", "single-CPU trace can never show cross-processor concurrency")
+	}
 	m := &Map{CC: make(map[Pair]float64), SliceCycles: opts.SliceCycles}
-	for _, slice := range trace.Slices(opts.SliceCycles) {
+	slices, err := trace.Slices(opts.SliceCycles)
+	if err != nil {
+		return nil, fmt.Errorf("concurrency: %w", err)
+	}
+	for _, slice := range slices {
 		accumulateSlice(m, slice, opts.Relevant)
 	}
 	return m, nil
@@ -186,6 +200,16 @@ func (bc *blockCounts) countFor(cpu int) float64 {
 
 // Value returns CC for a block pair.
 func (m *Map) Value(a, b ir.BlockID) float64 { return m.CC[MakePair(a, b)] }
+
+// Blocks returns the set of blocks appearing in any non-zero pair.
+func (m *Map) Blocks() map[ir.BlockID]bool {
+	out := make(map[ir.BlockID]bool)
+	for p := range m.CC {
+		out[p.A] = true
+		out[p.B] = true
+	}
+	return out
+}
 
 // TopPairs returns the k highest-CC pairs, ties broken by pair ordering.
 func (m *Map) TopPairs(k int) []Pair {

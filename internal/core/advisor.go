@@ -35,7 +35,10 @@ func (a *Analysis) RankStructs() ([]StructRank, error) {
 	var out []StructRank
 	counts := profile.ProgramFieldCounts(a.Prog, a.Profile)
 	for _, st := range a.Prog.StructsSorted() {
-		orig := layout.Original(st, a.Opts.LineSize)
+		orig, err := layout.Original(st, a.Opts.LineSize)
+		if err != nil {
+			return nil, err
+		}
 		if orig.NumLines() < 2 {
 			continue
 		}

@@ -16,10 +16,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"structlayout/internal/affinity"
 	"structlayout/internal/cluster"
 	"structlayout/internal/concurrency"
+	"structlayout/internal/diag"
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/flg"
 	"structlayout/internal/ir"
@@ -52,6 +54,15 @@ type Options struct {
 	// shared lock contribute no CycleLoss. The slice names the procedures
 	// threads may start in.
 	LockEntries []string
+	// FMF, when non-nil, replaces the field mapping file the analysis
+	// would derive from the program — the paper's pipeline reads the FMF
+	// from disk, so it can be stale or truncated relative to the program.
+	FMF *fieldmap.File
+	// Strict makes measurement-quality problems fatal: any input the
+	// graceful mode would sanitize away or degrade around becomes an
+	// error. Use it when a human should re-collect rather than trust a
+	// degraded advisory.
+	Strict bool
 }
 
 func (o *Options) fillDefaults() {
@@ -75,18 +86,57 @@ type Analysis struct {
 	FMF         *fieldmap.File
 	Locks       *locks.Info
 	Opts        Options
+	// Diag accumulates everything the input sanity checks and the
+	// downstream graph builders noticed about data quality.
+	Diag *diag.Log
 }
+
+// Degraded reports that some input was unusable and a defined fallback was
+// taken (e.g. affinity-only layout). It consults the live log, so graph
+// construction that degrades after NewAnalysis is reflected too.
+func (a *Analysis) Degraded() bool { return a.Diag.Degraded() }
 
 // NewAnalysis assembles an analysis from collected data. trace may be nil
 // (no concurrency collection: the tool degrades to locality-only layout,
 // like the CGO'06 single-threaded advisor).
+//
+// Measured inputs are never trusted blindly: the profile is scanned for
+// corrupt counts, the trace is sanitized (CPU/block ranges, duplicate
+// samples, per-CPU ITC monotonicity), the FMF's coverage of the program is
+// measured, and samples are cross-checked against the profile. In graceful
+// mode (default) problems are repaired or degraded around and recorded in
+// Analysis.Diag; with Options.Strict they are errors.
 func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, opts Options) (*Analysis, error) {
 	opts.fillDefaults()
 	if prog == nil || pf == nil {
 		return nil, fmt.Errorf("core: nil program or profile")
 	}
-	fmf := fieldmap.Build(prog)
-	a := &Analysis{Prog: prog, Profile: pf, FMF: fmf, Opts: opts}
+	log := diag.NewLog()
+	if len(pf.Blocks) != prog.NumBlocks() {
+		// Structural mismatch: indexing by BlockID would read out of
+		// bounds. Nothing to degrade to — always an error.
+		return nil, fmt.Errorf("core: profile has %d block counts, program has %d blocks", len(pf.Blocks), prog.NumBlocks())
+	}
+	pf, err := sanitizeProfile(pf, opts.Strict, log)
+	if err != nil {
+		return nil, err
+	}
+	fmf := opts.FMF
+	if fmf == nil {
+		fmf = fieldmap.Build(prog)
+	}
+	if cov := fmf.CoverageRatio(prog); cov < 1 {
+		sev := diag.Warning
+		if cov < 0.5 {
+			sev = diag.Degraded
+		}
+		log.Add(sev, "core", "fmf-coverage",
+			"FMF covers %.0f%% of the program's field-touching blocks; uncovered pairs contribute no CycleLoss", cov*100)
+		if opts.Strict {
+			return nil, fmt.Errorf("core: FMF covers only %.0f%% of field-touching blocks (strict mode)", cov*100)
+		}
+	}
+	a := &Analysis{Prog: prog, Profile: pf, FMF: fmf, Opts: opts, Diag: log}
 	if len(opts.LockEntries) > 0 && opts.FLG.ExclusionOracle == nil {
 		info, err := locks.Analyze(prog, opts.LockEntries)
 		if err != nil {
@@ -96,16 +146,101 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 		a.Opts.FLG.ExclusionOracle = info.MutualExclusion()
 	}
 	if trace != nil {
+		clean := sampling.Sanitize(trace, prog.NumBlocks(), log)
+		if dropped := len(trace.Samples) - len(clean.Samples); dropped > 0 {
+			if opts.Strict {
+				return nil, fmt.Errorf("core: trace sanitization dropped %d of %d samples (strict mode)", dropped, len(trace.Samples))
+			}
+			frac := float64(dropped) / float64(len(trace.Samples))
+			if frac > 0.25 {
+				log.Add(diag.Degraded, "core", "trace-quality",
+					"sanitization dropped %.0f%% of the trace; concurrency evidence is thin", frac*100)
+			}
+		}
+		checkSamplesAgainstProfile(clean, pf, log)
 		// Restrict concurrency to blocks that touch struct fields: the
 		// paper's pipeline only correlates lines present in the FMF.
 		relevant := func(b ir.BlockID) bool { return len(fmf.AtBlock(b)) > 0 }
-		cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: opts.SliceCycles, Relevant: relevant})
+		cm, err := concurrency.Compute(clean, concurrency.Options{SliceCycles: opts.SliceCycles, Relevant: relevant, Diag: log})
 		if err != nil {
 			return nil, err
 		}
-		a.Concurrency = cm
+		if len(cm.CC) == 0 {
+			// The defined fallback of §3: with no usable concurrency
+			// evidence the FLG reduces to pure CycleGain, i.e. the CGO'06
+			// locality-only advisor. The advisory is flagged so a
+			// programmer knows false sharing was not ruled out.
+			if opts.Strict {
+				return nil, fmt.Errorf("core: concurrency map is empty (strict mode); re-collect the trace")
+			}
+			log.Add(diag.Degraded, "core", "no-concurrency",
+				"concurrency map is empty or unusable; falling back to affinity-only (pure CycleGain) layout")
+		} else {
+			a.Concurrency = cm
+		}
+	} else {
+		log.Add(diag.Info, "core", "no-trace", "no sample trace provided; locality-only analysis by design")
 	}
+	// Downstream graph construction reports into the same log.
+	a.Opts.FLG.Diag = log
 	return a, nil
+}
+
+// sanitizeProfile scans the profile for corrupt counts — negative, NaN or
+// infinite — and clamps them to zero on a copy. A corrupt count is not
+// recoverable (the true value is unknowable), but a zero count only costs
+// optimization opportunity, never correctness of the emitted layout.
+func sanitizeProfile(pf *profile.Profile, strict bool, log *diag.Log) (*profile.Profile, error) {
+	bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+	n := 0
+	for _, s := range [][]float64{pf.Blocks, pf.LoopIters, pf.LoopEntries} {
+		for _, v := range s {
+			if bad(v) {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return pf, nil
+	}
+	if strict {
+		return nil, fmt.Errorf("core: profile has %d corrupt counts (strict mode)", n)
+	}
+	out := &profile.Profile{
+		ProgramName: pf.ProgramName,
+		Blocks:      append([]float64(nil), pf.Blocks...),
+		LoopIters:   append([]float64(nil), pf.LoopIters...),
+		LoopEntries: append([]float64(nil), pf.LoopEntries...),
+	}
+	total := 0
+	for _, s := range [][]float64{out.Blocks, out.LoopIters, out.LoopEntries} {
+		total += len(s)
+		for i, v := range s {
+			if bad(v) {
+				s[i] = 0
+			}
+		}
+	}
+	log.AddN(diag.Warning, "core", "profile-corrupt", n, "corrupt profile count (negative/NaN/Inf) clamped to zero")
+	if total > 0 && float64(n)/float64(total) > 0.25 {
+		log.Add(diag.Degraded, "core", "profile-quality",
+			"%.0f%% of profile counts were corrupt; CycleGain weights are unreliable", float64(n)/float64(total)*100)
+	}
+	return out, nil
+}
+
+// checkSamplesAgainstProfile cross-checks the two measured inputs: a block
+// the PMU observed executing but the profile claims never ran means the
+// two files came from different runs (or one is damaged).
+func checkSamplesAgainstProfile(t *sampling.Trace, pf *profile.Profile, log *diag.Log) {
+	inconsistent := make(map[ir.BlockID]bool)
+	for _, s := range t.Samples {
+		if int(s.Block) < len(pf.Blocks) && pf.Blocks[s.Block] == 0 {
+			inconsistent[s.Block] = true
+		}
+	}
+	log.AddN(diag.Warning, "core", "sample-profile-mismatch", len(inconsistent),
+		"block has PMU samples but a zero profile count; profile and trace may be from different runs")
 }
 
 // Suggestion is the tool's output for one struct.
@@ -154,11 +289,12 @@ func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggest
 		Auto:         lay,
 		AutoClusters: res,
 		Report: &report.Report{
-			Graph:      g,
-			Clustering: res,
-			Suggested:  lay,
-			Original:   original,
-			TopEdges:   10,
+			Graph:       g,
+			Clustering:  res,
+			Suggested:   lay,
+			Original:    original,
+			TopEdges:    10,
+			Diagnostics: a.Diag,
 		},
 	}, nil
 }

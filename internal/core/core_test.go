@@ -13,6 +13,15 @@ import (
 	"structlayout/internal/sampling"
 )
 
+func origLayout(t testing.TB, st *ir.StructType) *layout.Layout {
+	t.Helper()
+	l, err := layout.Original(st, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 // scenario builds a small program with a clear right answer: fields a0,a1
 // walked together by every CPU; field w written by every CPU on the shared
 // instance; cold fields. The tool must co-locate a0/a1 and separate w.
@@ -60,7 +69,7 @@ func collect(t testing.TB, p *ir.Program, s *ir.StructType) (*profile.Profile, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.DefineArena(layout.Original(s, 128), 64); err != nil {
+	if err := r.DefineArena(origLayout(t, s), 64); err != nil {
 		t.Fatal(err)
 	}
 	for cpu := 0; cpu < 4; cpu++ {
@@ -88,7 +97,7 @@ func analysis(t testing.TB) (*Analysis, *ir.StructType) {
 
 func TestSuggestSeparatesWriterColocatesWalkers(t *testing.T) {
 	a, s := analysis(t)
-	orig := layout.Original(s, 128)
+	orig := origLayout(t, s)
 	sugg, err := a.Suggest("S", orig)
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +126,7 @@ func TestSuggestSeparatesWriterColocatesWalkers(t *testing.T) {
 
 func TestBestAppliesConstraintsToOriginal(t *testing.T) {
 	a, s := analysis(t)
-	orig := layout.Original(s, 128) // a0,a1,w,c0,c1: w shares the line
+	orig := origLayout(t, s) // a0,a1,w,c0,c1: w shares the line
 	best, res, err := a.Best("S", orig)
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +169,7 @@ func TestUnknownStruct(t *testing.T) {
 	if _, err := a.Suggest("Nope", nil); err == nil {
 		t.Fatal("unknown struct accepted by Suggest")
 	}
-	if _, _, err := a.Best("Nope", layout.Original(a.Prog.Struct("S"), 128)); err == nil {
+	if _, _, err := a.Best("Nope", origLayout(t, a.Prog.Struct("S"))); err == nil {
 		t.Fatal("unknown struct accepted by Best")
 	}
 	if _, err := a.BuildFLG("Nope"); err == nil {
@@ -247,7 +256,7 @@ func collectLockScenario(t testing.TB, p *ir.Program, s *ir.StructType) (*profil
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.DefineArena(layout.Original(s, 128), 1); err != nil {
+	if err := r.DefineArena(origLayout(t, s), 1); err != nil {
 		t.Fatal(err)
 	}
 	for cpu := 0; cpu < 4; cpu++ {
@@ -342,7 +351,7 @@ func TestRankStructsAndAdviseAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, st := range []*ir.StructType{hot, small, cold} {
-		if err := r.DefineArena(layout.Original(st, 128), 64); err != nil {
+		if err := r.DefineArena(origLayout(t, st), 64); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -376,7 +385,7 @@ func TestRankStructsAndAdviseAll(t *testing.T) {
 	if !strings.Contains(RankReport(ranks), "hot") {
 		t.Fatal("rank report malformed")
 	}
-	suggs, err := a.AdviseAll(0, map[string]*layout.Layout{"hot": layout.Original(hot, 128)})
+	suggs, err := a.AdviseAll(0, map[string]*layout.Layout{"hot": origLayout(t, hot)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,192 @@
+// Package diag is the analysis pipeline's shared structured-diagnostics
+// type. The paper's measurement side (§4.2, §4.3) rests on PMU data that is
+// imperfect in practice — ITC drift, sample loss on loaded machines,
+// capped sampling frequency — so every consumer of measured input
+// (sampling, concurrency, fieldmap, flg, core) records what it noticed and
+// what fallback it took instead of failing. A report then shows the
+// programmer whether the advisory rests on clean or degraded evidence.
+//
+// A Log aggregates diagnostics by (source, code, severity): repeated
+// occurrences of the same condition bump a count rather than appending a
+// line per sample, so a million dropped samples cost one entry.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info records a normal-but-noteworthy observation.
+	Info Severity = iota
+	// Warning marks suspicious input that did not change the analysis
+	// outcome (e.g. a handful of duplicate samples, dropped).
+	Warning
+	// Degraded marks a defined fallback: the analysis completed, but on
+	// reduced evidence (e.g. an empty concurrency map forced an
+	// affinity-only layout).
+	Degraded
+	// Error marks input that had to be rejected outright.
+	Error
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Degraded:
+		return "degraded"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one aggregated observation.
+type Diagnostic struct {
+	// Severity grades the observation.
+	Severity Severity
+	// Source is the pipeline stage that noticed ("sampling", "flg", ...).
+	Source string
+	// Code is a stable, machine-matchable identifier of the condition
+	// ("itc-nonmonotonic", "fmf-coverage", ...).
+	Code string
+	// Message is the human-readable text of the first occurrence.
+	Message string
+	// Count is how many times the condition occurred.
+	Count int
+}
+
+// String renders one diagnostic line.
+func (d Diagnostic) String() string {
+	if d.Count > 1 {
+		return fmt.Sprintf("[%s] %s/%s: %s (x%d)", d.Severity, d.Source, d.Code, d.Message, d.Count)
+	}
+	return fmt.Sprintf("[%s] %s/%s: %s", d.Severity, d.Source, d.Code, d.Message)
+}
+
+type logKey struct {
+	sev    Severity
+	source string
+	code   string
+}
+
+// Log accumulates diagnostics. The zero value is NOT usable; use NewLog.
+// All methods tolerate a nil receiver (they drop the diagnostic), so deep
+// pipeline stages can take an optional *Log without guarding every call.
+type Log struct {
+	entries []Diagnostic
+	index   map[logKey]int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{index: make(map[logKey]int)}
+}
+
+// Add records one occurrence of a condition.
+func (l *Log) Add(sev Severity, source, code, format string, args ...interface{}) {
+	l.AddN(sev, source, code, 1, format, args...)
+}
+
+// AddN records n occurrences of a condition. n <= 0 records nothing.
+func (l *Log) AddN(sev Severity, source, code string, n int, format string, args ...interface{}) {
+	if l == nil || n <= 0 {
+		return
+	}
+	k := logKey{sev: sev, source: source, code: code}
+	if i, ok := l.index[k]; ok {
+		l.entries[i].Count += n
+		return
+	}
+	l.index[k] = len(l.entries)
+	l.entries = append(l.entries, Diagnostic{
+		Severity: sev,
+		Source:   source,
+		Code:     code,
+		Message:  fmt.Sprintf(format, args...),
+		Count:    n,
+	})
+}
+
+// Merge folds another log's entries into l.
+func (l *Log) Merge(o *Log) {
+	if l == nil || o == nil {
+		return
+	}
+	for _, d := range o.entries {
+		l.AddN(d.Severity, d.Source, d.Code, d.Count, "%s", d.Message)
+	}
+}
+
+// Entries returns the aggregated diagnostics, most severe first (stable
+// within a severity: insertion order).
+func (l *Log) Entries() []Diagnostic {
+	if l == nil {
+		return nil
+	}
+	out := append([]Diagnostic(nil), l.entries...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// Len returns the number of distinct conditions recorded.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// Max returns the highest severity recorded (Info for an empty log).
+func (l *Log) Max() Severity {
+	max := Info
+	if l == nil {
+		return max
+	}
+	for _, d := range l.entries {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}
+
+// CountAt sums occurrence counts at exactly the given severity.
+func (l *Log) CountAt(sev Severity) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range l.entries {
+		if d.Severity == sev {
+			n += d.Count
+		}
+	}
+	return n
+}
+
+// Degraded reports whether any fallback (or worse) was recorded.
+func (l *Log) Degraded() bool { return l.Max() >= Degraded }
+
+// String renders the log one diagnostic per line, most severe first.
+func (l *Log) String() string {
+	if l.Len() == 0 {
+		return "(no diagnostics)\n"
+	}
+	var sb strings.Builder
+	for _, d := range l.Entries() {
+		sb.WriteString("  ")
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregation(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.Add(Warning, "sampling", "dup", "duplicate sample dropped")
+	}
+	l.AddN(Warning, "sampling", "dup", 10, "duplicate sample dropped")
+	l.Add(Degraded, "core", "no-concurrency", "falling back to affinity-only layout")
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 aggregated entries", l.Len())
+	}
+	var dup Diagnostic
+	for _, d := range l.Entries() {
+		if d.Code == "dup" {
+			dup = d
+		}
+	}
+	if dup.Count != 15 {
+		t.Fatalf("dup count = %d, want 15", dup.Count)
+	}
+	if !l.Degraded() {
+		t.Fatal("log with Degraded entry not reported degraded")
+	}
+	if l.Max() != Degraded {
+		t.Fatalf("Max = %v, want Degraded", l.Max())
+	}
+	if l.CountAt(Warning) != 15 {
+		t.Fatalf("CountAt(Warning) = %d, want 15", l.CountAt(Warning))
+	}
+}
+
+func TestEntriesOrderedBySeverity(t *testing.T) {
+	l := NewLog()
+	l.Add(Info, "a", "i", "info")
+	l.Add(Error, "b", "e", "error")
+	l.Add(Warning, "c", "w", "warn")
+	es := l.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Severity > es[i-1].Severity {
+			t.Fatalf("entries not ordered most-severe-first: %v", es)
+		}
+	}
+	if es[0].Code != "e" {
+		t.Fatalf("first entry %v, want the error", es[0])
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(Error, "x", "y", "must not crash")
+	l.AddN(Warning, "x", "y", 3, "must not crash")
+	l.Merge(NewLog())
+	if l.Len() != 0 || l.Degraded() || l.Max() != Info || l.Entries() != nil {
+		t.Fatal("nil log should behave as empty")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	a.AddN(Warning, "s", "x", 2, "thing")
+	b.AddN(Warning, "s", "x", 3, "thing")
+	b.Add(Info, "s", "y", "other")
+	a.Merge(b)
+	if a.Len() != 2 || a.CountAt(Warning) != 5 {
+		t.Fatalf("merge: len %d countWarn %d, want 2/5", a.Len(), a.CountAt(Warning))
+	}
+}
+
+func TestString(t *testing.T) {
+	l := NewLog()
+	if !strings.Contains(l.String(), "no diagnostics") {
+		t.Fatal("empty log render")
+	}
+	l.AddN(Degraded, "core", "no-concurrency", 1, "affinity-only fallback")
+	s := l.String()
+	if !strings.Contains(s, "degraded") || !strings.Contains(s, "core/no-concurrency") {
+		t.Fatalf("render missing fields: %q", s)
+	}
+	l.AddN(Warning, "sampling", "dup", 7, "dropped")
+	if !strings.Contains(l.String(), "(x7)") {
+		t.Fatalf("render missing count: %q", l.String())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{Info: "info", Warning: "warning", Degraded: "degraded", Error: "error", Severity(42): "severity(42)"} {
+		if sev.String() != want {
+			t.Fatalf("Severity(%d).String() = %q, want %q", int(sev), sev.String(), want)
+		}
+	}
+}

@@ -45,12 +45,16 @@ func (c Config) LineSize() int {
 
 // OriginalLayouts materializes declaration-order layouts for every declared
 // arena.
-func OriginalLayouts(f *irtext.File, lineSize int) map[string]*layout.Layout {
+func OriginalLayouts(f *irtext.File, lineSize int) (map[string]*layout.Layout, error) {
 	out := make(map[string]*layout.Layout, len(f.Arenas))
 	for name := range f.Arenas {
-		out[name] = layout.Original(f.Prog.Struct(name), lineSize)
+		l, err := layout.Original(f.Prog.Struct(name), lineSize)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = l
 	}
-	return out
+	return out, nil
 }
 
 // Run executes the file's declared threads under the given layouts (keyed
@@ -79,7 +83,10 @@ func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.R
 	for name, count := range f.Arenas {
 		lay := layouts[name]
 		if lay == nil {
-			lay = layout.Original(f.Prog.Struct(name), lineSize)
+			lay, err = layout.Original(f.Prog.Struct(name), lineSize)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if err := r.DefineArena(lay, count); err != nil {
 			return nil, err
@@ -93,7 +100,10 @@ func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.R
 			}
 			lay := layouts[in.Struct.Name]
 			if lay == nil {
-				lay = layout.Original(in.Struct, lineSize)
+				lay, err = layout.Original(in.Struct, lineSize)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if err := r.DefineArena(lay, 1); err != nil {
 				return nil, err

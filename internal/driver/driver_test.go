@@ -6,10 +6,20 @@ import (
 	"testing"
 
 	"structlayout/internal/core"
+	"structlayout/internal/ir"
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
 )
+
+func mustOriginal(t testing.TB, st *ir.StructType, lineSize int) *layout.Layout {
+	t.Helper()
+	l, err := layout.Original(st, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
 
 const demoProgram = `
 program demo
@@ -61,7 +71,11 @@ func parseDemo(t testing.TB) *irtext.File {
 func TestRunParsedProgram(t *testing.T) {
 	f := parseDemo(t)
 	cfg := Config{Topo: machine.Bus4(), Seed: 3}
-	res, err := Run(f, cfg, OriginalLayouts(f, cfg.LineSize()))
+	origs, err := OriginalLayouts(f, cfg.LineSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f, cfg, origs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +135,7 @@ func TestCollectThenTool(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := f.Prog.Struct("conn")
-	sugg, err := analysis.Suggest("conn", layout.Original(st, cfg.LineSize()))
+	sugg, err := analysis.Suggest("conn", mustOriginal(t, st, cfg.LineSize()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +220,7 @@ func TestMemcachedProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := f.Prog.Struct("item")
-	sugg, err := analysis.Suggest("item", layout.Original(st, cfg.LineSize()))
+	sugg, err := analysis.Suggest("item", mustOriginal(t, st, cfg.LineSize()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,18 @@ import (
 	"structlayout/internal/sampling"
 )
 
+
+// origLayout builds the declaration-order layout at a 128-byte line,
+// failing the test on error.
+func origLayout(t testing.TB, st *ir.StructType) *layout.Layout {
+	t.Helper()
+	l, err := layout.Original(st, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func i64f(i int) ir.Field { return ir.I64(fmt.Sprintf("f%02d", i)) }
 
 // buildCounterWorkload builds per-CPU procedures each hammering its own
@@ -70,7 +82,7 @@ func runCounters(t *testing.T, lay func(*ir.StructType) *layout.Layout, topo *ma
 func TestFalseSharingCostsCycles(t *testing.T) {
 	topo := machine.Superdome128()
 	// Dense layout: all four counters in one 128B line.
-	dense := func(s *ir.StructType) *layout.Layout { return layout.Original(s, 128) }
+	dense := func(s *ir.StructType) *layout.Layout { return origLayout(t, s) }
 	// Spread layout: one counter per line via one-cluster-per-line packing.
 	spread := func(s *ir.StructType) *layout.Layout {
 		clusters := make([][]int, len(s.Fields))
@@ -119,7 +131,7 @@ func TestProfileMatchesStaticEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.DefineArena(layout.Original(s, 128), 1); err != nil {
+	if err := r.DefineArena(origLayout(t, s), 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.AddThread(0, "main", nil, 1); err != nil {
@@ -151,7 +163,7 @@ func TestDeterminism(t *testing.T) {
 		p, s, names := buildCounterWorkload(4, 500)
 		r, _ := NewRunner(p, Config{Topo: machine.Bus4(), Cache: coherence.DefaultItanium(), Seed: 99,
 			Sampling: &sampling.Config{IntervalCycles: 1000, DriftMaxCycles: 4, LossProb: 0.05, Seed: 3}})
-		_ = r.DefineArena(layout.Original(s, 128), 1)
+		_ = r.DefineArena(origLayout(t, s), 1)
 		for cpu := 0; cpu < 4; cpu++ {
 			_ = r.AddThread(cpu, names[cpu], nil, 2)
 		}
@@ -196,7 +208,7 @@ func TestLockSerializes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.DefineArena(layout.Original(s, 128), 1); err != nil {
+	if err := r.DefineArena(origLayout(t, s), 1); err != nil {
 		t.Fatal(err)
 	}
 	for cpu := 0; cpu < 4; cpu++ {
@@ -227,7 +239,7 @@ func TestUnlockWithoutHoldErrors(t *testing.T) {
 	p.MustFinalize()
 
 	r, _ := NewRunner(p, Config{Topo: machine.Uniprocessor(), Cache: coherence.DefaultItanium()})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	_ = r.AddThread(0, "main", nil, 1)
 	if _, err := r.Run(); err == nil {
 		t.Fatal("expected unlock-without-hold error")
@@ -245,7 +257,7 @@ func TestSelfDeadlockErrors(t *testing.T) {
 	p.MustFinalize()
 
 	r, _ := NewRunner(p, Config{Topo: machine.Uniprocessor(), Cache: coherence.DefaultItanium()})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	_ = r.AddThread(0, "main", nil, 1)
 	if _, err := r.Run(); err == nil {
 		t.Fatal("expected re-acquire error")
@@ -306,7 +318,7 @@ func TestParamAndPerCPUInstances(t *testing.T) {
 	p.MustFinalize()
 
 	r, _ := NewRunner(p, Config{Topo: machine.Bus4(), Cache: coherence.DefaultItanium(), Seed: 2})
-	_ = r.DefineArena(layout.Original(s, 128), 8)
+	_ = r.DefineArena(origLayout(t, s), 8)
 	if err := r.AddThread(2, "main", []int{5}, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +346,7 @@ func TestLoopVarOutsideLoopErrors(t *testing.T) {
 	b.Done()
 	p.MustFinalize()
 	r, _ := NewRunner(p, Config{Topo: machine.Uniprocessor(), Cache: coherence.DefaultItanium()})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	_ = r.AddThread(0, "main", nil, 1)
 	if _, err := r.Run(); err == nil {
 		t.Fatal("expected loopvar error")
@@ -345,7 +357,7 @@ func TestSamplingProducesTrace(t *testing.T) {
 	p, s, names := buildCounterWorkload(4, 2000)
 	r, _ := NewRunner(p, Config{Topo: machine.Bus4(), Cache: coherence.DefaultItanium(), Seed: 4,
 		Sampling: &sampling.Config{IntervalCycles: 500, DriftMaxCycles: 3, LossProb: 0, Seed: 8}})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	for cpu := 0; cpu < 4; cpu++ {
 		_ = r.AddThread(cpu, names[cpu], nil, 1)
 	}
@@ -417,7 +429,7 @@ func TestRunnerRunsOnce(t *testing.T) {
 func TestFalseSharingReport(t *testing.T) {
 	p, s, names := buildCounterWorkload(4, 500)
 	r, _ := NewRunner(p, Config{Topo: machine.Superdome128(), Cache: coherence.DefaultItanium(), Seed: 2})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	for cpu := 0; cpu < 4; cpu++ {
 		_ = r.AddThread(cpu*32, names[cpu], nil, 1)
 	}

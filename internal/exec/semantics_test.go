@@ -42,7 +42,7 @@ func TestMemoryDistanceEffect(t *testing.T) {
 		p, s := build()
 		var lay *layout.Layout
 		if together {
-			lay = layout.Original(s, 128)
+			lay = origLayout(t, s)
 		} else {
 			var err error
 			lay, err = layout.PackClusters(s, "apart", [][]int{{0}, {1}}, 128,
@@ -109,7 +109,7 @@ func TestLockHandoffOrdering(t *testing.T) {
 	}
 	p.MustFinalize()
 	r, _ := NewRunner(p, Config{Topo: machine.Bus4(), Cache: coherence.DefaultItanium(), Seed: 1})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	for i := 0; i < 3; i++ {
 		_ = r.AddThread(i, procName(i), nil, 1)
 	}
@@ -173,7 +173,7 @@ func TestArenaColoring(t *testing.T) {
 		b.Done()
 		p.MustFinalize()
 		r, _ := NewRunner(p, Config{Topo: machine.Uniprocessor(), Cache: coherence.DefaultItanium(), Seed: 1})
-		if err := r.DefineArena(layout.Original(s, 128), 8); err != nil {
+		if err := r.DefineArena(origLayout(t, s), 8); err != nil {
 			t.Fatal(err)
 		}
 		a := r.arenas["C"]
@@ -181,7 +181,7 @@ func TestArenaColoring(t *testing.T) {
 		if lines%2 != 1 {
 			t.Fatalf("%d fields: stride %d lines is even", nFields, lines)
 		}
-		if a.stride < int64(layout.Original(s, 128).LineAlignedSize()) {
+		if a.stride < int64(origLayout(t, s).LineAlignedSize()) {
 			t.Fatalf("%d fields: stride smaller than the layout", nFields)
 		}
 	}
@@ -192,7 +192,7 @@ func TestArenaColoring(t *testing.T) {
 func TestFieldStatAccounting(t *testing.T) {
 	p, s, names := buildCounterWorkload(4, 700)
 	r, _ := NewRunner(p, Config{Topo: machine.Bus4(), Cache: coherence.DefaultItanium(), Seed: 2})
-	_ = r.DefineArena(layout.Original(s, 128), 1)
+	_ = r.DefineArena(origLayout(t, s), 1)
 	for cpu := 0; cpu < 4; cpu++ {
 		_ = r.AddThread(cpu, names[cpu], nil, 1)
 	}

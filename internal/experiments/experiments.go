@@ -136,7 +136,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		for fi := range ks.Type.Fields {
 			hot[fi] = hotCounts[profile.FieldKey{Struct: ks.Type.Name, Field: fi}].Total()
 		}
-		p.Hotness[label] = layout.SortByHotness(ks.Type, hot, lineSize)
+		hotLay, err := layout.SortByHotness(ks.Type, hot, lineSize)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotness layout %s: %w", label, err)
+		}
+		p.Hotness[label] = hotLay
 
 		best, _, err := analysis.Best(ks.Type.Name, baselines[label])
 		if err != nil {

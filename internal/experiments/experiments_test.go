@@ -213,6 +213,52 @@ func rowMap(f *Figure) map[string]Row {
 	return out
 }
 
+func TestRobustnessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	cfg := reducedConfig()
+	cfg.Runs = 1
+	res, err := Robustness(cfg, nil, []float64{0, 0.5, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	// Severity 0 must reproduce the clean pipeline exactly: identical
+	// layouts (distance 0), no degradation, and the same measured speedup.
+	clean := res.Rows[0]
+	if clean.Err != "" {
+		t.Fatalf("clean row errored: %s", clean.Err)
+	}
+	if clean.LayoutDistance != 0 {
+		t.Fatalf("severity 0 moved %.0f%% of fields; injection must be the identity", clean.LayoutDistance*100)
+	}
+	if clean.Degraded {
+		t.Fatal("severity 0 flagged degraded")
+	}
+	if clean.SpeedupPct != res.CleanSpeedupPct {
+		t.Fatalf("severity 0 speedup %.4f != clean %.4f", clean.SpeedupPct, res.CleanSpeedupPct)
+	}
+	// Full severity composes every injector: the trace must shrink (loss +
+	// truncation beat duplication) and the empty FMF must flag degradation.
+	worst := res.Rows[2]
+	if worst.Err != "" {
+		t.Fatalf("graceful mode errored at full severity: %s", worst.Err)
+	}
+	if worst.Samples >= clean.Samples {
+		t.Fatalf("full-severity trace has %d samples, clean %d; loss+truncation should shrink it", worst.Samples, clean.Samples)
+	}
+	if !worst.Degraded {
+		t.Fatal("full-severity input not flagged degraded")
+	}
+	if worst.Diags == 0 {
+		t.Fatal("full-severity input produced no diagnostics")
+	}
+}
+
 func TestPredictionAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation run")

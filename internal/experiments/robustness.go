@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"structlayout/internal/core"
+	"structlayout/internal/faults"
+	"structlayout/internal/fieldmap"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/workload"
+)
+
+// RobustnessRow is one point of the fault-severity sweep: how the layout
+// tool's output degrades when the composed fault spec is scaled to
+// Severity and applied to the profile, the sample trace and the FMF.
+type RobustnessRow struct {
+	// Severity is the Scale factor applied to the base spec.
+	Severity float64
+	// Spec is the scaled spec in canonical form.
+	Spec string
+	// Samples is the trace size reaching the analysis after injection.
+	Samples int
+	// Degraded reports whether the analysis flagged itself degraded.
+	Degraded bool
+	// Diags counts aggregated diagnostic entries.
+	Diags int
+	// LayoutDistance is the mean (over structs) fraction of fields placed
+	// on a different cache line than in the clean automatic layout. Zero
+	// severity must reproduce the clean layouts exactly (distance 0).
+	LayoutDistance float64
+	// SpeedupPct is the throughput gain of the faulted automatic layouts
+	// (all structs applied together) over the hand-tuned baseline.
+	SpeedupPct float64
+	// Err is set when the analysis refused the faulted input outright; the
+	// quality columns are then meaningless.
+	Err string
+}
+
+// RobustnessResult is the severity→quality-degradation table.
+type RobustnessResult struct {
+	Machine string
+	// BaseSpec is the unscaled fault shape being swept.
+	BaseSpec string
+	// CleanSpeedupPct is the clean (severity 0) automatic layouts'
+	// throughput gain over baseline — the yardstick the rows decay from.
+	CleanSpeedupPct float64
+	Rows            []RobustnessRow
+}
+
+// DefaultSeverities is the sweep used by the CLI and the tests.
+var DefaultSeverities = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9}
+
+// Robustness collects one clean profile+trace, then replays the analysis
+// under the base fault spec scaled to each severity, recording how far the
+// automatic layouts drift from the clean ones and how much measured
+// throughput they give up. The analysis runs in graceful (non-strict) mode:
+// the point of the sweep is to watch degradation, not to die at the first
+// diagnostic. Expect the quality columns to worsen monotonically with
+// severity — in expectation, not pointwise, since the injectors are random.
+//
+// A nil base sweeps every fault kind at full strength; nil severities use
+// DefaultSeverities; a nil topo measures on the 4-way bus machine.
+func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machine.Topology) (*RobustnessResult, error) {
+	if base == nil {
+		base = faults.New(cfg.BaseSeed)
+		for _, k := range faults.Kinds {
+			base.Severity[k] = 1
+		}
+	}
+	if len(severities) == 0 {
+		severities = DefaultSeverities
+	}
+	if topo == nil {
+		topo = machine.Bus4()
+	}
+
+	suite, err := workload.NewSuite(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(cfg.Params.Cache.LineSize)
+	baselines := suite.BaselineLayouts(lineSize)
+
+	collectParams := cfg.Params
+	if cfg.CollectScripts > 0 {
+		collectParams.ScriptsPerThread = cfg.CollectScripts
+	}
+	collectSuite, err := workload.NewSuite(collectParams)
+	if err != nil {
+		return nil, err
+	}
+	pf, trace, err := collectSuite.Collect(cfg.CollectTopo, collectSuite.BaselineLayouts(lineSize), cfg.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: robustness collection: %w", err)
+	}
+	fullFMF := fieldmap.Build(collectSuite.Prog)
+
+	toolOpts := cfg.Tool
+	toolOpts.LineSize = lineSize
+	if toolOpts.FLG.AliasOracle == nil {
+		toolOpts.FLG.AliasOracle = workload.PrivateAliasOracle(collectSuite.Prog)
+	}
+
+	analyze := func(sp *faults.Spec) (workload.Layouts, *core.Analysis, error) {
+		opts := toolOpts
+		opts.FMF = sp.ApplyFMF(fullFMF, collectSuite.Prog)
+		a, err := core.NewAnalysis(collectSuite.Prog, sp.ApplyProfile(pf), sp.ApplyTrace(trace), opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		autos := make(workload.Layouts, len(workload.Labels()))
+		for _, label := range workload.Labels() {
+			ks := suite.Struct(label)
+			sugg, err := a.Suggest(ks.Type.Name, baselines[label])
+			if err != nil {
+				return nil, nil, fmt.Errorf("suggest %s: %w", label, err)
+			}
+			autos[label] = sugg.Auto
+		}
+		return autos, a, nil
+	}
+
+	cleanAutos, _, err := analyze(base.Scale(0))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: robustness clean analysis: %w", err)
+	}
+	baseMeas, err := suite.Measure(topo, baselines, cfg.Runs, cfg.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	cleanMeas, err := suite.Measure(topo, withAll(baselines, cleanAutos), cfg.Runs, cfg.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RobustnessResult{
+		Machine:         topo.Name,
+		BaseSpec:        base.String(),
+		CleanSpeedupPct: cleanMeas.SpeedupOver(baseMeas),
+	}
+	for _, sev := range severities {
+		sp := base.Scale(sev)
+		row := RobustnessRow{Severity: sev, Spec: sp.String(), Samples: len(sp.ApplyTrace(trace).Samples)}
+		autos, a, err := analyze(sp)
+		if err != nil {
+			row.Err = err.Error()
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.Degraded = a.Degraded()
+		row.Diags = a.Diag.Len()
+		row.LayoutDistance = layoutDistance(cleanAutos, autos)
+		m, err := suite.Measure(topo, withAll(baselines, autos), cfg.Runs, cfg.BaseSeed)
+		if err != nil {
+			row.Err = err.Error()
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.SpeedupPct = m.SpeedupOver(baseMeas)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// withAll overlays every struct's variant layout onto the baselines.
+func withAll(base workload.Layouts, variants workload.Layouts) workload.Layouts {
+	out := base
+	for label, lay := range variants {
+		out = out.WithLayout(label, lay)
+	}
+	return out
+}
+
+// layoutDistance averages, over structs and fields, whether a field sits on
+// a different cache line than in the reference layout.
+func layoutDistance(ref, got workload.Layouts) float64 {
+	moved, total := 0, 0
+	for label, r := range ref {
+		g, ok := got[label]
+		if !ok {
+			continue
+		}
+		total += len(r.Offsets)
+		moved += movedFields(r, g)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(moved) / float64(total)
+}
+
+func movedFields(ref, got *layout.Layout) int {
+	n := 0
+	for fi := range ref.Offsets {
+		if fi >= len(got.Offsets) || ref.LineOf(fi) != got.LineOf(fi) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the degradation table.
+func (r *RobustnessResult) String() string {
+	s := fmt.Sprintf("robustness sweep on %s (faults: %s)\n", r.Machine, r.BaseSpec)
+	s += fmt.Sprintf("clean automatic layouts: %+.2f%% over baseline\n", r.CleanSpeedupPct)
+	s += "  severity  samples  degraded  diags  layout-dist  auto-speedup\n"
+	for _, row := range r.Rows {
+		if row.Err != "" {
+			s += fmt.Sprintf("  %8.2f  %7d  analysis rejected input: %s\n", row.Severity, row.Samples, row.Err)
+			continue
+		}
+		deg := "no"
+		if row.Degraded {
+			deg = "YES"
+		}
+		s += fmt.Sprintf("  %8.2f  %7d  %8s  %5d  %10.0f%%  %+11.2f%%\n",
+			row.Severity, row.Samples, deg, row.Diags, row.LayoutDistance*100, row.SpeedupPct)
+	}
+	return s
+}

@@ -62,6 +62,58 @@ func Build(p *ir.Program) *File {
 	return f
 }
 
+// FromLines builds a File from a line-keyed access table, reconstructing
+// the block index through the program's line table. Lines that name no
+// known block are kept in the line index only (a stale FMF may reference
+// source lines the current program no longer has).
+func FromLines(lines map[ir.SourceLine][]Entry, p *ir.Program) *File {
+	f := &File{
+		Lines:  make(map[ir.SourceLine][]Entry, len(lines)),
+		blocks: make(map[ir.BlockID][]Entry, len(lines)),
+	}
+	table := p.LineTable()
+	for loc, entries := range lines {
+		f.Lines[loc] = entries
+		if b, ok := table[loc]; ok {
+			f.blocks[b.Global] = entries
+		}
+	}
+	return f
+}
+
+// Filter returns a copy of the file containing only the lines keep accepts.
+func (f *File) Filter(p *ir.Program, keep func(ir.SourceLine) bool) *File {
+	lines := make(map[ir.SourceLine][]Entry, len(f.Lines))
+	for loc, entries := range f.Lines {
+		if keep(loc) {
+			lines[loc] = entries
+		}
+	}
+	return FromLines(lines, p)
+}
+
+// CoverageRatio reports the fraction of the program's field-touching
+// blocks that the file has entries for. A complete FMF (as Build emits)
+// covers 1.0; a stale or truncated one covers less, and the consuming
+// pipeline uses the ratio to decide how much to trust CycleLoss joins.
+// A program with no field-touching blocks is trivially fully covered.
+func (f *File) CoverageRatio(p *ir.Program) float64 {
+	total, covered := 0, 0
+	for _, b := range p.Blocks() {
+		if len(b.FieldInstrs()) == 0 {
+			continue
+		}
+		total++
+		if len(f.blocks[b.Global]) > 0 {
+			covered++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(covered) / float64(total)
+}
+
 // At returns the accesses recorded for a source line.
 func (f *File) At(line ir.SourceLine) []Entry { return f.Lines[line] }
 
@@ -115,11 +167,7 @@ func (f *File) WriteText(w io.Writer) error {
 // ParseText reads the WriteText format. The block-keyed index is
 // reconstructed via the program's line table.
 func ParseText(r io.Reader, p *ir.Program) (*File, error) {
-	f := &File{
-		Lines:  make(map[ir.SourceLine][]Entry),
-		blocks: make(map[ir.BlockID][]Entry),
-	}
-	table := p.LineTable()
+	lines := make(map[ir.SourceLine][]Entry)
 	sc := bufio.NewScanner(r)
 	lineno := 0
 	for sc.Scan() {
@@ -145,12 +193,12 @@ func ParseText(r io.Reader, p *ir.Program) (*File, error) {
 		if len(entries) == 0 {
 			return nil, fmt.Errorf("fieldmap: line %d: no entries", lineno)
 		}
-		f.Lines[loc] = entries
-		if b, ok := table[loc]; ok {
-			f.blocks[b.Global] = entries
-		}
+		lines[loc] = entries
 	}
-	return f, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromLines(lines, p), nil
 }
 
 func parseLoc(tok string) (ir.SourceLine, error) {

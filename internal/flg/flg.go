@@ -23,6 +23,7 @@ import (
 
 	"structlayout/internal/affinity"
 	"structlayout/internal/concurrency"
+	"structlayout/internal/diag"
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/ir"
 )
@@ -45,6 +46,10 @@ type Options struct {
 	// execute concurrently — e.g. both run under the same shared lock
 	// (internal/locks). Their CycleLoss contribution is suppressed.
 	ExclusionOracle func(b1 ir.BlockID, seq1 int, b2 ir.BlockID, seq2 int) bool
+	// Diag, when non-nil, receives graph-construction observations:
+	// missing CycleLoss inputs (affinity-only graph) and concurrency
+	// evidence that could not be joined with the FMF.
+	Diag *diag.Log
 }
 
 func (o *Options) fillDefaults() {
@@ -94,14 +99,20 @@ func Build(ag *affinity.Graph, cm *concurrency.Map, fmf *fieldmap.File, opts Opt
 	}
 	if cm != nil && fmf != nil {
 		g.addCycleLoss(cm, fmf, opts)
+	} else {
+		opts.Diag.Add(diag.Degraded, "flg", "no-cycleloss",
+			"struct %s: concurrency map or FMF unavailable; graph carries CycleGain only", g.Struct.Name)
 	}
 	return g
 }
+
 
 // addCycleLoss joins the concurrency map with the FMF.
 func (g *Graph) addCycleLoss(cm *concurrency.Map, fmf *fieldmap.File, opts Options) {
 	touching := fmf.BlocksTouching(g.Struct.Name)
 	if len(touching) == 0 {
+		opts.Diag.Add(diag.Info, "flg", "no-fmf-blocks",
+			"struct %s: FMF lists no blocks touching it; CycleLoss is zero", g.Struct.Name)
 		return
 	}
 	// Deterministic block order.

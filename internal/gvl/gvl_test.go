@@ -88,7 +88,11 @@ func TestFromFLGEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.DefineArena(layout.Original(gs, 128), 1); err != nil {
+	gsLay, err := layout.Original(gs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DefineArena(gsLay, 1); err != nil {
 		t.Fatal(err)
 	}
 	for cpu := 0; cpu < 4; cpu++ {

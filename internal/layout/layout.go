@@ -71,22 +71,15 @@ func FromOrder(st *ir.StructType, name string, order []int, lineSize int) (*Layo
 	return l, nil
 }
 
-// MustFromOrder panics on error; for statically valid orders.
-func MustFromOrder(st *ir.StructType, name string, order []int, lineSize int) *Layout {
-	l, err := FromOrder(st, name, order, lineSize)
-	if err != nil {
-		panic(err)
-	}
-	return l
-}
-
-// Original returns the declaration-order layout.
-func Original(st *ir.StructType, lineSize int) *Layout {
+// Original returns the declaration-order layout. The order is a valid
+// permutation by construction, so the only error source is a bad line
+// size, which reaches this function from user input (flags, configs).
+func Original(st *ir.StructType, lineSize int) (*Layout, error) {
 	order := make([]int, len(st.Fields))
 	for i := range order {
 		order[i] = i
 	}
-	return MustFromOrder(st, "baseline", order, lineSize)
+	return FromOrder(st, "baseline", order, lineSize)
 }
 
 // SortByHotness implements the naive heuristic the paper evaluates against
@@ -96,7 +89,7 @@ func Original(st *ir.StructType, lineSize int) *Layout {
 // close to each other." Alignment groups are emitted from the largest
 // alignment down, so the packing wastes no padding; within a group, hotter
 // fields come first. Ties break by field index for determinism.
-func SortByHotness(st *ir.StructType, hotness map[int]float64, lineSize int) *Layout {
+func SortByHotness(st *ir.StructType, hotness map[int]float64, lineSize int) (*Layout, error) {
 	order := make([]int, len(st.Fields))
 	for i := range order {
 		order[i] = i
@@ -112,7 +105,7 @@ func SortByHotness(st *ir.StructType, hotness map[int]float64, lineSize int) *La
 		}
 		return order[a] < order[b]
 	})
-	return MustFromOrder(st, "sort-by-hotness", order, lineSize)
+	return FromOrder(st, "sort-by-hotness", order, lineSize)
 }
 
 // PackOptions controls cluster materialization.

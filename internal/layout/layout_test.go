@@ -23,9 +23,27 @@ func mixedStruct() *ir.StructType {
 	)
 }
 
+func mustOriginal(t testing.TB, st *ir.StructType, lineSize int) *Layout {
+	t.Helper()
+	l, err := Original(st, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustSortByHotness(t testing.TB, st *ir.StructType, hot map[int]float64, lineSize int) *Layout {
+	t.Helper()
+	l, err := SortByHotness(st, hot, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestOriginalLayoutCRules(t *testing.T) {
 	st := mixedStruct()
-	l := Original(st, 128)
+	l := mustOriginal(t, st, 128)
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +79,7 @@ func TestFromOrderRejectsBadPermutations(t *testing.T) {
 func TestSortByHotness(t *testing.T) {
 	st := mixedStruct()
 	hot := map[int]float64{0: 100, 1: 1, 2: 50, 4: 90, 6: 80}
-	l := SortByHotness(st, hot, 128)
+	l := mustSortByHotness(t, st, hot, 128)
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +160,7 @@ func TestPackClustersTooBig(t *testing.T) {
 
 func TestApplyConstraints(t *testing.T) {
 	st := mixedStruct()
-	orig := Original(st, 32) // small lines to force multi-line layout
+	orig := mustOriginal(t, st, 32) // small lines to force multi-line layout
 	// Constrain q1+q2 together and p1 in a different cluster.
 	clusters := [][]int{{1, 4}, {6}}
 	l, err := ApplyConstraints(orig, "best", clusters)
@@ -162,7 +180,7 @@ func TestApplyConstraints(t *testing.T) {
 
 func TestApplyConstraintsPreservesUnconstrainedOrder(t *testing.T) {
 	st := mixedStruct()
-	orig := Original(st, 128)
+	orig := mustOriginal(t, st, 128)
 	l, err := ApplyConstraints(orig, "best", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +192,7 @@ func TestApplyConstraintsPreservesUnconstrainedOrder(t *testing.T) {
 
 func TestApplyConstraintsDuplicateField(t *testing.T) {
 	st := mixedStruct()
-	orig := Original(st, 128)
+	orig := mustOriginal(t, st, 128)
 	if _, err := ApplyConstraints(orig, "x", [][]int{{1, 4}, {4}}); err == nil {
 		t.Fatal("duplicate field across clusters accepted")
 	}
@@ -182,7 +200,7 @@ func TestApplyConstraintsDuplicateField(t *testing.T) {
 
 func TestLinesOfSpanningField(t *testing.T) {
 	st := ir.NewStruct("S", ir.I64("a"), ir.Arr("buf", 40, 8, 8), ir.I64("b"))
-	l := Original(st, 128)
+	l := mustOriginal(t, st, 128)
 	lines := l.LinesOf(1) // 320-byte array from offset 8 spans lines 0..2
 	if len(lines) != 3 || lines[0] != 0 || lines[2] != 2 {
 		t.Fatalf("LinesOf = %v", lines)
@@ -200,11 +218,11 @@ func TestLinesOfSpanningField(t *testing.T) {
 
 func TestLineAlignedSize(t *testing.T) {
 	st := mixedStruct()
-	l := Original(st, 128)
+	l := mustOriginal(t, st, 128)
 	if l.LineAlignedSize() != 128 {
 		t.Fatalf("LineAlignedSize = %d", l.LineAlignedSize())
 	}
-	l32 := Original(st, 32)
+	l32 := mustOriginal(t, st, 32)
 	if l32.LineAlignedSize() != 64 {
 		t.Fatalf("LineAlignedSize(32) = %d, want 64", l32.LineAlignedSize())
 	}
@@ -212,7 +230,7 @@ func TestLineAlignedSize(t *testing.T) {
 
 func TestDumpMentionsLines(t *testing.T) {
 	st := mixedStruct()
-	l := Original(st, 32)
+	l := mustOriginal(t, st, 32)
 	d := l.Dump()
 	if !strings.Contains(d, "-- line 0 --") || !strings.Contains(d, "-- line 1 --") {
 		t.Fatalf("dump missing line markers:\n%s", d)
@@ -249,7 +267,10 @@ func TestSortByHotnessMonotone(t *testing.T) {
 			0: float64(h0), 1: float64(h1), 2: float64(h2), 3: float64(h3),
 			4: float64(h4), 5: float64(h5), 6: float64(h6), 7: float64(h7),
 		}
-		l := SortByHotness(st, hot, 128)
+		l, err := SortByHotness(st, hot, 128)
+		if err != nil {
+			return false
+		}
 		for i := 1; i < len(l.Order); i++ {
 			a, b := l.Order[i-1], l.Order[i]
 			if st.Fields[a].Align == st.Fields[b].Align && hot[a] < hot[b] {
@@ -306,7 +327,7 @@ func layoutPackSeparateAll() PackOptions {
 func TestEmitCPaddingAccountsForEverything(t *testing.T) {
 	st := mixedStruct()
 	hot := map[int]float64{0: 5, 4: 9}
-	l := SortByHotness(st, hot, 32)
+	l := mustSortByHotness(t, st, hot, 32)
 	c := l.EmitC()
 	// Count pad bytes mentioned and field bytes; compare with Size.
 	total := 0

@@ -12,7 +12,15 @@
 // access and "only slightly higher than an L2 miss" for the 4-way bus box.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxCPUs bounds the processor count a topology may declare; it keeps a
+// malformed shape (data-driven topologies) from sizing simulator state to
+// absurdity. The paper's largest machine has 128 CPUs.
+const MaxCPUs = 1 << 16
 
 // Topology describes one machine.
 type Topology struct {
@@ -53,6 +61,9 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("machine %s: non-positive fan-out %d", t.Name, s)
 		}
 		n *= s
+		if n > MaxCPUs {
+			return fmt.Errorf("machine %s: %d CPUs exceeds the supported maximum %d", t.Name, n, MaxCPUs)
+		}
 	}
 	if len(t.CacheToCache) != len(t.Shape) {
 		return fmt.Errorf("machine %s: CacheToCache has %d entries, want %d", t.Name, len(t.CacheToCache), len(t.Shape))
@@ -254,8 +265,39 @@ func Uniprocessor() *Topology {
 	return t
 }
 
+// ByName resolves a machine name from user input (CLI flags, config
+// files) to a built-in topology, returning an error — never panicking —
+// for unknown names. Matching is case-insensitive.
+func ByName(name string) (*Topology, error) {
+	switch strings.ToLower(name) {
+	case "bus4":
+		return Bus4(), nil
+	case "way16":
+		return Way16(), nil
+	case "superdome32":
+		return Superdome32(), nil
+	case "superdome64":
+		return Superdome64(), nil
+	case "superdome128":
+		return Superdome128(), nil
+	case "up1", "uniprocessor":
+		return Uniprocessor(), nil
+	default:
+		return nil, fmt.Errorf("machine: unknown machine %q (want %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names lists the built-in machine names ByName accepts.
+func Names() []string {
+	return []string{"bus4", "way16", "superdome32", "superdome64", "superdome128", "uniprocessor"}
+}
+
+// mustValidate guards a programmer-error invariant: the built-in
+// topologies above are static literals, so a validation failure means the
+// source code itself is wrong, not any input. Data-driven topologies must
+// go through Validate (or ByName) and handle the error.
 func mustValidate(t *Topology) {
 	if err := t.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("machine: built-in topology is invalid (programmer error): %v", err))
 	}
 }

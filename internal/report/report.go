@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"structlayout/internal/cluster"
+	"structlayout/internal/diag"
 	"structlayout/internal/flg"
 	"structlayout/internal/layout"
 )
@@ -27,13 +28,24 @@ type Report struct {
 	Original *layout.Layout
 	// TopEdges bounds how many large-weight edges are listed each way.
 	TopEdges int
+	// Diagnostics carries the analysis pipeline's data-quality log; when
+	// it records a degradation the advisory is visibly flagged, because a
+	// layout suggested without (say) concurrency evidence cannot promise
+	// the paper's false-sharing guarantees.
+	Diagnostics *diag.Log
 }
+
+// Degraded reports whether the advisory rests on degraded evidence.
+func (r *Report) Degraded() bool { return r.Diagnostics.Degraded() }
 
 // String renders the full advisory text.
 func (r *Report) String() string {
 	var sb strings.Builder
 	st := r.Graph.Struct
 	fmt.Fprintf(&sb, "==== layout advisory for struct %s ====\n", st.Name)
+	if r.Degraded() {
+		sb.WriteString("!!!! DEGRADED: built from incomplete measurement data; see diagnostics below !!!!\n")
+	}
 	fmt.Fprintf(&sb, "fields: %d, dense size: %d bytes, line size: %d bytes\n\n",
 		len(st.Fields), st.MinBytes(), r.Suggested.LineSize)
 
@@ -67,6 +79,10 @@ func (r *Report) String() string {
 		e := negs[len(negs)-1-i] // most negative first
 		fmt.Fprintf(&sb, "  %-20s x %-20s  %.6g (gain %.6g, loss %.6g)\n",
 			st.Fields[e.F1].Name, st.Fields[e.F2].Name, e.Weight(), e.Gain, e.Loss)
+	}
+
+	if r.Diagnostics.Len() > 0 {
+		fmt.Fprintf(&sb, "\n-- diagnostics (data quality) --\n%s", r.Diagnostics.String())
 	}
 
 	fmt.Fprintf(&sb, "\n-- suggested layout --\n%s", r.Suggested.Dump())

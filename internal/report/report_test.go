@@ -29,7 +29,11 @@ func fixture(t testing.TB) (*flg.Graph, cluster.Result, *layout.Layout, *layout.
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, res, lay, layout.Original(st, 128)
+	orig, err := layout.Original(st, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res, lay, orig
 }
 
 func TestReportContents(t *testing.T) {

@@ -1,0 +1,74 @@
+package sampling_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"structlayout/internal/concurrency"
+	"structlayout/internal/diag"
+	"structlayout/internal/ir"
+	"structlayout/internal/sampling"
+)
+
+// FuzzReadJSON drives hostile bytes through the full trace-consumption
+// chain: decode, sanitize, slice, and compute a concurrency map. Nothing on
+// that path may panic — a malformed trace file must surface as an error or
+// as diagnostics, never as a crash (cmd/concmap exits 1 on error and must
+// survive arbitrary input).
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"interval_cycles":100,"num_cpus":2,"cpu":[0,1,0],"block":[0,1,2],"itc":[100,150,200]}`))
+	f.Add([]byte(`{"interval_cycles":1,"num_cpus":1,"cpu":[],"block":[],"itc":[]}`))
+	f.Add([]byte(`{"interval_cycles":100,"num_cpus":4,"cpu":[3,3],"block":[7,7],"itc":[-50,-50]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"interval_cycles":-5,"num_cpus":1000000000,"cpu":[0],"block":[0],"itc":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := sampling.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		log := diag.NewLog()
+		clean := sampling.Sanitize(tr, 0, log)
+		if len(clean.Samples) > len(tr.Samples) {
+			t.Fatal("Sanitize grew the trace")
+		}
+		if _, err := clean.Slices(1000); err != nil {
+			t.Fatalf("Slices on sanitized trace: %v", err)
+		}
+		if _, err := concurrency.Compute(clean, concurrency.Options{SliceCycles: 1000}); err != nil {
+			t.Fatalf("Compute on sanitized trace: %v", err)
+		}
+	})
+}
+
+// FuzzSanitize feeds raw sample values (no JSON framing) through Sanitize
+// and the slicer, covering value ranges the structural ReadJSON checks
+// forbid — e.g. CPU ids outside the declared count.
+func FuzzSanitize(f *testing.F) {
+	f.Add(2, int64(100), 0, int32(0), int64(100), 1, int32(1), int64(-5))
+	f.Add(1, int64(1), 99, int32(-3), int64(1<<60), -7, int32(1<<30), int64(-1<<60))
+	f.Fuzz(func(t *testing.T, nCPU int, interval int64, cpu1 int, blk1 int32, itc1 int64, cpu2 int, blk2 int32, itc2 int64) {
+		tr := &sampling.Trace{
+			IntervalCycles: interval,
+			NumCPUs:        nCPU,
+			Samples: []sampling.Sample{
+				{CPU: cpu1, Block: ir.BlockID(blk1), ITC: itc1},
+				{CPU: cpu2, Block: ir.BlockID(blk2), ITC: itc2},
+				{CPU: cpu1, Block: ir.BlockID(blk1), ITC: itc1}, // guaranteed duplicate
+			},
+		}
+		log := diag.NewLog()
+		clean := sampling.Sanitize(tr, 10, log)
+		for _, s := range clean.Samples {
+			if s.CPU < 0 || s.CPU >= nCPU {
+				t.Fatalf("sanitized trace kept out-of-range CPU %d", s.CPU)
+			}
+			if s.Block < 0 || int(s.Block) >= 10 {
+				t.Fatalf("sanitized trace kept invalid block %d", s.Block)
+			}
+		}
+		if strings.Contains(log.String(), "%!") {
+			t.Fatalf("diagnostic formatting broke: %s", log)
+		}
+	})
+}

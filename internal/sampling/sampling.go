@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"structlayout/internal/diag"
 	"structlayout/internal/ir"
 )
 
@@ -64,11 +65,13 @@ func (c Config) Validate() error {
 // Collector accumulates samples as the execution engine advances virtual
 // time. One collector serves all CPUs of one run (whole-system mode).
 type Collector struct {
-	cfg     Config
-	rng     *rand.Rand
-	drift   []int64
-	nextDue []int64
-	samples []Sample
+	cfg       Config
+	rng       *rand.Rand
+	drift     []int64
+	nextDue   []int64
+	lastNow   []int64
+	backwards int
+	samples   []Sample
 }
 
 // NewCollector builds a collector for numCPUs processors.
@@ -76,11 +79,15 @@ func NewCollector(cfg Config, numCPUs int) (*Collector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if numCPUs <= 0 {
+		return nil, fmt.Errorf("sampling: collector needs at least one CPU, got %d", numCPUs)
+	}
 	c := &Collector{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		drift:   make([]int64, numCPUs),
 		nextDue: make([]int64, numCPUs),
+		lastNow: make([]int64, numCPUs),
 	}
 	for i := range c.drift {
 		if cfg.DriftMaxCycles > 0 {
@@ -94,8 +101,15 @@ func NewCollector(cfg Config, numCPUs int) (*Collector, error) {
 
 // Tick informs the collector that the CPU has advanced to the given virtual
 // time while executing block. Every elapsed sampling period emits one
-// sample (unless lost).
+// sample (unless lost). A backwards jump of virtual time is tolerated — no
+// samples are emitted for it (the due clock never rewinds, so no duplicate
+// samples can appear) — and counted for diagnostics.
 func (c *Collector) Tick(cpu int, now int64, block *ir.BasicBlock) {
+	if now < c.lastNow[cpu] {
+		c.backwards++
+	} else {
+		c.lastNow[cpu] = now
+	}
 	for c.nextDue[cpu] <= now {
 		due := c.nextDue[cpu]
 		c.nextDue[cpu] += c.cfg.IntervalCycles
@@ -111,6 +125,10 @@ func (c *Collector) Tick(cpu int, now int64, block *ir.BasicBlock) {
 
 // Samples returns everything collected so far.
 func (c *Collector) Samples() []Sample { return c.samples }
+
+// BackwardsJumps returns how many Tick calls observed virtual time moving
+// backwards on some CPU — a collection-side anomaly worth surfacing.
+func (c *Collector) BackwardsJumps() int { return c.backwards }
 
 // Trace is an immutable collection of samples plus collection metadata.
 type Trace struct {
@@ -134,14 +152,20 @@ type SliceCounts struct {
 
 // Slices buckets the trace into fixed-duration time slices (the paper uses
 // 1 ms, about 12 samples per slice per CPU at 1.2 GHz and a 100k-cycle
-// period). Slices are returned in time order.
-func (t *Trace) Slices(sliceCycles int64) []SliceCounts {
+// period). Slices are returned in time order. Samples naming a CPU outside
+// [0, NumCPUs) are skipped: a Trace assembled from untrusted input may
+// carry them, and bucketing must not fail on them (use Sanitize to count
+// and report such samples).
+func (t *Trace) Slices(sliceCycles int64) ([]SliceCounts, error) {
 	if sliceCycles <= 0 {
-		panic(fmt.Sprintf("sampling: non-positive slice size %d", sliceCycles))
+		return nil, fmt.Errorf("sampling: non-positive slice size %d", sliceCycles)
 	}
 	bySlice := make(map[int64]*SliceCounts)
 	var order []int64
 	for _, s := range t.Samples {
+		if s.CPU < 0 || s.CPU >= t.NumCPUs {
+			continue
+		}
 		idx := s.ITC / sliceCycles
 		if s.ITC < 0 {
 			idx = 0 // drift can push the very first sample below zero
@@ -165,5 +189,67 @@ func (t *Trace) Slices(sliceCycles int64) []SliceCounts {
 	for _, idx := range order {
 		out = append(out, *bySlice[idx])
 	}
-	return out
+	return out, nil
+}
+
+// Sanitize validates a trace sample-by-sample and returns a cleaned copy,
+// recording everything it found in log (which may be nil). numBlocks, when
+// positive, bounds valid block ids (a program's block count); non-positive
+// means unknown and only negative block ids are rejected.
+//
+// Checks, in order:
+//   - samples naming a CPU outside [0, NumCPUs) are dropped,
+//   - samples naming a block outside the valid range are dropped,
+//   - samples with an ITC more than 1000 sampling intervals below zero are
+//     dropped (legitimate drift reaches a few intervals at most; anything
+//     further is corrupt),
+//   - exact duplicate samples (same CPU, block, ITC — impossible from a
+//     real PMU, whose per-CPU due clock advances strictly) are dropped,
+//   - per-CPU ITC monotonicity violations are counted but kept: slicing is
+//     order-independent, so reordered samples still contribute.
+//
+// A clean trace comes back unchanged (same sample values, fresh slice), so
+// sanitizing is safe to apply unconditionally.
+func Sanitize(t *Trace, numBlocks int, log *diag.Log) *Trace {
+	if t == nil {
+		return nil
+	}
+	absurd := int64(-1000) * t.IntervalCycles
+	if t.IntervalCycles <= 0 {
+		absurd = -1 << 50
+	}
+	var badCPU, badBlock, badITC, dups, nonMonotonic int
+	seen := make(map[Sample]struct{}, len(t.Samples))
+	lastITC := make(map[int]int64, t.NumCPUs)
+	kept := make([]Sample, 0, len(t.Samples))
+	for _, s := range t.Samples {
+		switch {
+		case s.CPU < 0 || s.CPU >= t.NumCPUs:
+			badCPU++
+			continue
+		case s.Block < 0 || (numBlocks > 0 && int(s.Block) >= numBlocks):
+			badBlock++
+			continue
+		case s.ITC < absurd:
+			badITC++
+			continue
+		}
+		if _, ok := seen[s]; ok {
+			dups++
+			continue
+		}
+		seen[s] = struct{}{}
+		if last, ok := lastITC[s.CPU]; ok && s.ITC < last {
+			nonMonotonic++
+		} else {
+			lastITC[s.CPU] = s.ITC
+		}
+		kept = append(kept, s)
+	}
+	log.AddN(diag.Error, "sampling", "cpu-range", badCPU, "sample names a CPU outside [0,%d); dropped", t.NumCPUs)
+	log.AddN(diag.Error, "sampling", "block-range", badBlock, "sample names an invalid block id; dropped")
+	log.AddN(diag.Warning, "sampling", "itc-absurd", badITC, "sample ITC below any plausible drift; dropped")
+	log.AddN(diag.Warning, "sampling", "dup-dropped", dups, "exact duplicate sample; dropped")
+	log.AddN(diag.Warning, "sampling", "itc-nonmonotonic", nonMonotonic, "per-CPU ITC went backwards; kept (slicing is order-independent)")
+	return &Trace{Samples: kept, IntervalCycles: t.IntervalCycles, NumCPUs: t.NumCPUs}
 }

@@ -3,6 +3,7 @@ package sampling
 import (
 	"testing"
 
+	"structlayout/internal/diag"
 	"structlayout/internal/ir"
 )
 
@@ -96,7 +97,10 @@ func TestSlices(t *testing.T) {
 	c.Tick(0, 500, blocks[0])
 	c.Tick(1, 500, blocks[1])
 	tr := c.Finish()
-	slices := tr.Slices(100)
+	slices, err := tr.Slices(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(slices) == 0 {
 		t.Fatal("no slices")
 	}
@@ -154,6 +158,146 @@ func TestDeterminism(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewCollectorRejectsZeroCPUs(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := NewCollector(DefaultConfig(), n); err == nil {
+			t.Fatalf("collector accepted %d CPUs", n)
+		}
+	}
+}
+
+func TestHighLossStillTerminates(t *testing.T) {
+	_, blocks := testBlocks(t)
+	c, err := NewCollector(Config{IntervalCycles: 10, LossProb: 0.99, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(0, 100000, blocks[0])
+	n := len(c.Samples())
+	if n == 0 {
+		t.Skip("seed lost every sample; acceptable at 99% loss")
+	}
+	if n > 10000/2 {
+		t.Fatalf("99%% loss kept %d of ~10000 samples", n)
+	}
+}
+
+func TestZeroDriftExactITC(t *testing.T) {
+	_, blocks := testBlocks(t)
+	c, _ := NewCollector(Config{IntervalCycles: 50, DriftMaxCycles: 0, Seed: 2}, 2)
+	c.Tick(0, 5000, blocks[0])
+	c.Tick(1, 5000, blocks[0])
+	for _, s := range c.Samples() {
+		if s.ITC%50 != 0 && s.ITC < 1 {
+			t.Fatalf("drift-free sample has implausible ITC %d", s.ITC)
+		}
+		if s.ITC < 1 || s.ITC > 5000 {
+			t.Fatalf("sample ITC %d outside the run", s.ITC)
+		}
+	}
+}
+
+func TestBackwardsVirtualTime(t *testing.T) {
+	_, blocks := testBlocks(t)
+	c, _ := NewCollector(Config{IntervalCycles: 10, Seed: 3}, 1)
+	c.Tick(0, 1000, blocks[0])
+	n := len(c.Samples())
+	c.Tick(0, 500, blocks[0]) // time runs backwards
+	if len(c.Samples()) != n {
+		t.Fatal("backwards tick emitted samples")
+	}
+	if c.BackwardsJumps() != 1 {
+		t.Fatalf("backwards jumps = %d, want 1", c.BackwardsJumps())
+	}
+	c.Tick(0, 2000, blocks[0]) // recovery: sampling resumes, no duplicates
+	if len(c.Samples()) <= n {
+		t.Fatal("sampling did not resume after the backwards jump")
+	}
+	seen := map[Sample]bool{}
+	for _, s := range c.Samples() {
+		if seen[s] {
+			t.Fatalf("duplicate sample %+v after backwards jump", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSanitizeDropsAndCounts(t *testing.T) {
+	tr := &Trace{
+		IntervalCycles: 100,
+		NumCPUs:        2,
+		Samples: []Sample{
+			{CPU: 0, Block: 0, ITC: 100},
+			{CPU: 0, Block: 0, ITC: 100},     // duplicate
+			{CPU: 5, Block: 0, ITC: 200},     // bad CPU
+			{CPU: -1, Block: 0, ITC: 200},    // bad CPU
+			{CPU: 1, Block: -2, ITC: 200},    // bad block
+			{CPU: 1, Block: 99, ITC: 200},    // block out of range for numBlocks=3
+			{CPU: 0, Block: 1, ITC: -200000}, // absurd ITC (< -1000 intervals)
+			{CPU: 0, Block: 1, ITC: 50},      // non-monotonic on CPU 0: kept
+			{CPU: 1, Block: 2, ITC: 300},
+		},
+	}
+	log := diag.NewLog()
+	clean := Sanitize(tr, 3, log)
+	if len(clean.Samples) != 3 {
+		t.Fatalf("kept %d samples, want 3: %+v", len(clean.Samples), clean.Samples)
+	}
+	for code, want := range map[string]int{
+		"cpu-range":        2,
+		"block-range":      2,
+		"itc-absurd":       1,
+		"dup-dropped":      1,
+		"itc-nonmonotonic": 1,
+	} {
+		found := false
+		for _, d := range log.Entries() {
+			if d.Code == code {
+				found = true
+				if d.Count != want {
+					t.Errorf("%s count = %d, want %d", code, d.Count, want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic", code)
+		}
+	}
+}
+
+func TestSanitizeCleanTraceUnchanged(t *testing.T) {
+	_, blocks := testBlocks(t)
+	c, _ := NewCollector(Config{IntervalCycles: 10, DriftMaxCycles: 2, Seed: 4}, 2)
+	c.Tick(0, 1000, blocks[0])
+	c.Tick(1, 1000, blocks[1])
+	tr := c.Finish()
+	log := diag.NewLog()
+	clean := Sanitize(tr, 0, log)
+	if log.Len() != 0 {
+		t.Fatalf("clean trace produced diagnostics:\n%s", log)
+	}
+	if len(clean.Samples) != len(tr.Samples) {
+		t.Fatalf("clean trace lost samples: %d -> %d", len(tr.Samples), len(clean.Samples))
+	}
+	for i := range clean.Samples {
+		if clean.Samples[i] != tr.Samples[i] {
+			t.Fatalf("sample %d changed: %+v vs %+v", i, clean.Samples[i], tr.Samples[i])
+		}
+	}
+	if Sanitize(nil, 0, log) != nil {
+		t.Fatal("Sanitize(nil) != nil")
+	}
+}
+
+func TestSlicesRejectsBadSliceSize(t *testing.T) {
+	tr := &Trace{IntervalCycles: 10, NumCPUs: 1}
+	for _, n := range []int64{0, -5} {
+		if _, err := tr.Slices(n); err == nil {
+			t.Fatalf("Slices accepted %d", n)
 		}
 	}
 }

@@ -36,7 +36,19 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(&out)
 }
 
-// ReadJSON deserializes a trace written by WriteJSON.
+// MaxCPUs bounds the CPU count a deserialized trace may declare. The
+// paper's largest machine has 128 processors; 65536 leaves three orders of
+// magnitude of headroom while keeping an adversarial num_cpus from driving
+// per-slice allocations (one map slot per CPU per slice) to OOM.
+const MaxCPUs = 1 << 16
+
+// ReadJSON deserializes a trace written by WriteJSON. Structural problems
+// — disagreeing array lengths, non-positive metadata, an absurd CPU count,
+// out-of-range CPU or negative block ids — are errors: a trace file is
+// machine-written, so structural damage means the file cannot be trusted
+// at all. Semantic anomalies that a real degraded collector produces
+// (negative ITC from drift, duplicate or reordered samples) are preserved
+// for Sanitize to judge.
 func ReadJSON(r io.Reader) (*Trace, error) {
 	var in traceJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -48,6 +60,9 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	if in.IntervalCycles <= 0 || in.NumCPUs <= 0 {
 		return nil, fmt.Errorf("sampling: trace metadata invalid (interval %d, cpus %d)", in.IntervalCycles, in.NumCPUs)
 	}
+	if in.NumCPUs > MaxCPUs {
+		return nil, fmt.Errorf("sampling: trace declares %d CPUs (limit %d)", in.NumCPUs, MaxCPUs)
+	}
 	t := &Trace{
 		IntervalCycles: in.IntervalCycles,
 		NumCPUs:        in.NumCPUs,
@@ -56,6 +71,9 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	for i := range in.CPU {
 		if in.CPU[i] < 0 || in.CPU[i] >= in.NumCPUs {
 			return nil, fmt.Errorf("sampling: sample %d has cpu %d out of range", i, in.CPU[i])
+		}
+		if in.Block[i] < 0 {
+			return nil, fmt.Errorf("sampling: sample %d has negative block id %d", i, in.Block[i])
 		}
 		t.Samples[i] = Sample{CPU: in.CPU[i], Block: ir.BlockID(in.Block[i]), ITC: in.ITC[i]}
 	}

@@ -49,3 +49,35 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestReadJSONRejectsHostileValues(t *testing.T) {
+	cases := map[string]string{
+		"negative interval": `{"interval_cycles":-10,"num_cpus":1,"cpu":[],"block":[],"itc":[]}`,
+		"negative num_cpus": `{"interval_cycles":10,"num_cpus":-1,"cpu":[],"block":[],"itc":[]}`,
+		"absurd num_cpus":   `{"interval_cycles":10,"num_cpus":1000000000,"cpu":[],"block":[],"itc":[]}`,
+		"negative cpu":      `{"interval_cycles":10,"num_cpus":2,"cpu":[-1],"block":[0],"itc":[1]}`,
+		"negative block":    `{"interval_cycles":10,"num_cpus":2,"cpu":[0],"block":[-7],"itc":[1]}`,
+		"itc array short":   `{"interval_cycles":10,"num_cpus":2,"cpu":[0,1],"block":[0,0],"itc":[1]}`,
+	}
+	for name, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted %q", name, c)
+		}
+	}
+}
+
+func TestReadJSONPreservesSemanticAnomalies(t *testing.T) {
+	// Negative ITC and exact duplicates are collector-plausible (drift,
+	// retransmission); ReadJSON must keep them for Sanitize to judge.
+	in := `{"interval_cycles":10,"num_cpus":2,"cpu":[0,0,1],"block":[0,0,1],"itc":[-5,-5,3]}`
+	tr, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("kept %d samples, want 3", len(tr.Samples))
+	}
+	if tr.Samples[0].ITC != -5 || tr.Samples[0] != tr.Samples[1] {
+		t.Fatalf("anomalies not preserved: %+v", tr.Samples)
+	}
+}

@@ -67,7 +67,7 @@ func (o *Options) fillDefaults() {
 }
 
 // Split computes the hot/cold advisory for one struct from a profile.
-func Split(p *ir.Program, pf *profile.Profile, st *ir.StructType, opts Options) *SplitAdvice {
+func Split(p *ir.Program, pf *profile.Profile, st *ir.StructType, opts Options) (*SplitAdvice, error) {
 	opts.fillDefaults()
 	counts := profile.ProgramFieldCounts(p, pf)
 	hotness := make([]float64, len(st.Fields))
@@ -101,7 +101,11 @@ func Split(p *ir.Program, pf *profile.Profile, st *ir.StructType, opts Options) 
 		hotBytesWithPtr += 8
 	}
 	adv.HotLines = (hotBytesWithPtr + opts.LineSize - 1) / opts.LineSize
-	adv.OrigLines = layout.Original(st, opts.LineSize).NumLines()
+	orig, err := layout.Original(st, opts.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	adv.OrigLines = orig.NumLines()
 	if adv.HotLines == 0 {
 		adv.HotLines = 1
 	}
@@ -117,7 +121,7 @@ func Split(p *ir.Program, pf *profile.Profile, st *ir.StructType, opts Options) 
 	sort.Ints(adv.Hot)
 	sort.Ints(adv.Cold)
 	sort.Ints(adv.Dead)
-	return adv
+	return adv, nil
 }
 
 // Worthwhile reports whether the split shrinks the hot footprint at all.

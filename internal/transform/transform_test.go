@@ -8,6 +8,15 @@ import (
 	"structlayout/internal/profile"
 )
 
+func mustSplit(t testing.TB, p *ir.Program, pf *profile.Profile, st *ir.StructType, opts Options) *SplitAdvice {
+	t.Helper()
+	adv, err := Split(p, pf, st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
 // hotColdProgram: two hot fields, one warm, many cold, two never touched.
 func hotColdProgram(t testing.TB) (*ir.Program, *ir.StructType, *profile.Profile) {
 	t.Helper()
@@ -40,7 +49,7 @@ func hotColdProgram(t testing.TB) (*ir.Program, *ir.StructType, *profile.Profile
 
 func TestSplitPartitionsByHeat(t *testing.T) {
 	p, s, pf := hotColdProgram(t)
-	adv := Split(p, pf, s, Options{})
+	adv := mustSplit(t, p, pf, s, Options{})
 	hotSet := map[int]bool{}
 	for _, fi := range adv.Hot {
 		hotSet[fi] = true
@@ -70,7 +79,7 @@ func TestSplitPartitionsByHeat(t *testing.T) {
 func TestSplitThresholdKnob(t *testing.T) {
 	p, s, pf := hotColdProgram(t)
 	// A generous threshold keeps warm hot.
-	adv := Split(p, pf, s, Options{ColdFraction: 0.001})
+	adv := mustSplit(t, p, pf, s, Options{ColdFraction: 0.001})
 	for _, fi := range adv.Cold {
 		if fi == s.FieldIndex("warm") {
 			t.Fatal("warm should be hot at 0.1% threshold")
@@ -84,7 +93,7 @@ func TestSplitCutWeight(t *testing.T) {
 		{s.FieldIndex("hot_a"), s.FieldIndex("warm")}:  42, // crosses the cut
 		{s.FieldIndex("hot_a"), s.FieldIndex("hot_b")}: 7,  // stays hot-side
 	}
-	adv := Split(p, pf, s, Options{AffinityWeights: weights})
+	adv := mustSplit(t, p, pf, s, Options{AffinityWeights: weights})
 	if adv.CutWeight != 42 {
 		t.Fatalf("cut weight = %v, want 42", adv.CutWeight)
 	}
@@ -102,7 +111,7 @@ func TestSplitAllHot(t *testing.T) {
 	b.Done()
 	p.MustFinalize()
 	pf, _ := profile.StaticEstimate(p, []string{"main"})
-	adv := Split(p, pf, s, Options{})
+	adv := mustSplit(t, p, pf, s, Options{})
 	if len(adv.Cold) != 0 || adv.Worthwhile() {
 		t.Fatalf("uniformly hot struct should not split: %+v", adv)
 	}
@@ -110,7 +119,7 @@ func TestSplitAllHot(t *testing.T) {
 
 func TestAdvisoryText(t *testing.T) {
 	p, s, pf := hotColdProgram(t)
-	text := Split(p, pf, s, Options{}).String()
+	text := mustSplit(t, p, pf, s, Options{}).String()
 	for _, want := range []string{"hot/cold split advisory", "dead (never referenced): dead_y dead_z", "verdict: worthwhile"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("advisory missing %q:\n%s", want, text)

@@ -39,9 +39,16 @@ type KernelStruct struct {
 	ArenaCount int
 }
 
-// Baseline materializes the hand-tuned layout at the given line size.
+// Baseline materializes the hand-tuned layout at the given line size. The
+// baseline orders are static data defined in this package, so a failure is
+// a programmer error and the panic here is a deliberate invariant; a bad
+// lineSize from user input is the one caller-supplied failure mode.
 func (k *KernelStruct) Baseline(lineSize int) *layout.Layout {
-	return layout.MustFromOrder(k.Type, "baseline", k.BaselineOrder, lineSize)
+	l, err := layout.FromOrder(k.Type, "baseline", k.BaselineOrder, lineSize)
+	if err != nil {
+		panic(fmt.Sprintf("workload: struct %s baseline order is invalid (programmer error?): %v", k.Label, err))
+	}
+	return l
 }
 
 // NumStatClasses is the number of per-CPU-class statistics slots in struct
