@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"structlayout/internal/coherence"
+	"structlayout/internal/experiments"
+	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
+)
+
+// benchStage is one timed stage of the pipeline.
+type benchStage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport is the regression-tracking artifact (BENCH_pipeline.json).
+type benchReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"`
+	Runs       int    `json:"runs"`
+	Short      bool   `json:"short"`
+	// NsPerAccess and AllocsPerAccess measure the coherence simulator's
+	// inner loop (Bus4, 128 B lines, 128×8 cache) outside the pipeline.
+	NsPerAccess     float64      `json:"ns_per_access"`
+	AllocsPerAccess float64      `json:"allocs_per_access"`
+	Stages          []benchStage `json:"stages"`
+	TotalSeconds    float64      `json:"total_seconds"`
+}
+
+// runBench times every stage of `experiments all`, microbenchmarks the
+// coherence simulator, and writes the report. With a baseline (-check) it
+// fails when total wall-clock regresses by more than 25%.
+func runBench(cfg experiments.Config, short bool, out, check string) error {
+	if short {
+		cfg.Runs = 2
+	}
+	rep := &benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       parallel.Limit(),
+		Runs:       cfg.Runs,
+		Short:      short,
+	}
+	rep.NsPerAccess, rep.AllocsPerAccess = benchCoherence()
+	fmt.Printf("coherence simulator: %.1f ns/access, %.3f allocs/access\n", rep.NsPerAccess, rep.AllocsPerAccess)
+
+	start := time.Now()
+	var p *experiments.Pipeline
+	stages := []struct {
+		name string
+		fn   func() error
+	}{
+		{"collect+analyze", func() error {
+			var err error
+			p, err = experiments.NewPipeline(cfg)
+			return err
+		}},
+		{"fig8", func() error { _, err := p.Fig8(); return err }},
+		{"fig9", func() error { _, err := p.Fig9(); return err }},
+		{"fig10", func() error { _, err := p.Fig10(); return err }},
+		{"stability", func() error { _, err := p.ConcurrencyStability(20); return err }},
+		{"predict", func() error { _, err := p.PredictionAccuracy(); return err }},
+		{"robustness", func() error {
+			severities := experiments.DefaultSeverities
+			if short {
+				severities = []float64{0, 0.5}
+			}
+			_, err := experiments.Robustness(cfg, nil, severities, nil)
+			return err
+		}},
+	}
+	for _, st := range stages {
+		t0 := time.Now()
+		if err := st.fn(); err != nil {
+			return fmt.Errorf("bench %s: %w", st.name, err)
+		}
+		secs := time.Since(t0).Seconds()
+		rep.Stages = append(rep.Stages, benchStage{Name: st.name, Seconds: secs})
+		fmt.Printf("  %-16s %7.2fs\n", st.name, secs)
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+	fmt.Printf("total: %.2fs at -j %d (%d runs/config)\n", rep.TotalSeconds, rep.Jobs, rep.Runs)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if check != "" {
+		return checkRegression(rep, check)
+	}
+	return nil
+}
+
+// checkRegression compares against a committed baseline report. Only total
+// wall-clock gates (±25%): per-stage times are informational, and ns/access
+// is too machine-dependent to gate in CI.
+func checkRegression(rep *benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if base.TotalSeconds <= 0 {
+		return fmt.Errorf("bench baseline %s has no total_seconds", path)
+	}
+	if base.Runs != rep.Runs || base.Short != rep.Short {
+		fmt.Printf("note: baseline config differs (runs %d vs %d, short %v vs %v); comparing anyway\n",
+			base.Runs, rep.Runs, base.Short, rep.Short)
+	}
+	ratio := rep.TotalSeconds / base.TotalSeconds
+	fmt.Printf("wall-clock vs baseline %s: %.2fx (%.2fs vs %.2fs)\n", path, ratio, rep.TotalSeconds, base.TotalSeconds)
+	if ratio > 1.25 {
+		return fmt.Errorf("bench: wall-clock regressed %.0f%% over baseline (limit 25%%)", (ratio-1)*100)
+	}
+	return nil
+}
+
+// benchCoherence measures the simulator's per-access cost the same way the
+// BenchmarkCoherenceAccess micro-benchmark does: a deterministic SDET-like
+// access mix (mostly-read scans plus contended hot-line writes) on the
+// 4-way bus machine.
+func benchCoherence() (nsPerAccess, allocsPerAccess float64) {
+	const (
+		streamLen = 1 << 16
+		iters     = 1 << 20
+		maxAddr   = 1 << 20
+	)
+	topo := machine.Bus4()
+	sys, err := coherence.NewSystem(topo, coherence.Config{LineSize: 128, Sets: 128, Ways: 8})
+	if err != nil {
+		return 0, 0
+	}
+	sys.ReserveDirectory(maxAddr)
+	rng := rand.New(rand.NewSource(42))
+	cpu := make([]int, streamLen)
+	addr := make([]int64, streamLen)
+	write := make([]bool, streamLen)
+	for i := range cpu {
+		cpu[i] = rng.Intn(topo.NumCPUs())
+		if rng.Intn(10) == 0 {
+			addr[i] = 128 + int64(rng.Intn(16))*8
+			write[i] = true
+		} else {
+			addr[i] = 128 + rng.Int63n(maxAddr-256)
+			write[i] = rng.Intn(4) == 0
+		}
+	}
+	// Warm up the caches and directory, then measure.
+	for i := 0; i < streamLen; i++ {
+		sys.Access(cpu[i], addr[i], 8, write[i])
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		j := i % streamLen
+		sys.Access(cpu[j], addr[j], 8, write[j])
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return float64(elapsed.Nanoseconds()) / iters, float64(m1.Mallocs-m0.Mallocs) / iters
+}

@@ -6,6 +6,11 @@
 //	experiments stability  §4.3: concurrency-map stability across machines
 //	experiments robustness fault-severity sweep: layout quality vs corrupted inputs
 //	experiments all        everything
+//	experiments bench      time the pipeline and write BENCH_pipeline.json
+//
+// Measured runs fan out over a worker pool (-j, default GOMAXPROCS); every
+// figure is byte-identical at any -j because seeds derive from run indices
+// and results gather by index.
 //
 // The absolute throughputs come from the machine simulator, not an HP
 // Superdome, so only the shape of each figure — who wins, by roughly what
@@ -21,16 +26,26 @@ import (
 
 	"structlayout/internal/experiments"
 	"structlayout/internal/faults"
+	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 )
 
 func main() {
 	var (
-		runs   = flag.Int("runs", 10, "measured runs per configuration (the paper uses 10)")
-		quick  = flag.Bool("quick", false, "3 runs per configuration for a fast look")
-		seed   = flag.Int64("seed", 20070311, "base seed")
-		inject = flag.String("inject", "", `fault shape swept by the robustness experiment (default "all=1"); see docs/FAULTS.md`)
+		runs     = flag.Int("runs", 10, "measured runs per configuration (the paper uses 10)")
+		quick    = flag.Bool("quick", false, "3 runs per configuration for a fast look")
+		seed     = flag.Int64("seed", 20070311, "base seed")
+		inject   = flag.String("inject", "", `fault shape swept by the robustness experiment (default "all=1"); see docs/FAULTS.md`)
+		machName = flag.String("machine", "", "measurement machine for the robustness sweep: bus4, way16 or superdome128 (default bus4)")
+		jobs     = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
+		short    = flag.Bool("short", false, "bench: reduced configuration for CI smoke runs")
+		benchOut = flag.String("out", "BENCH_pipeline.json", "bench: write the timing report to this file")
+		check    = flag.String("check", "", "bench: fail if wall-clock regresses >25% against this baseline report")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
 	what := flag.Arg(0)
 	if what == "" {
 		what = "all"
@@ -50,14 +65,29 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var topo *machine.Topology
+	if *machName != "" {
+		var err error
+		topo, err = machine.ByName(*machName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	}
 
-	if err := run(what, cfg, spec); err != nil {
+	var err error
+	if what == "bench" {
+		err = runBench(cfg, *short, *benchOut, *check)
+	} else {
+		err = run(what, cfg, spec, topo)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(what string, cfg experiments.Config, spec *faults.Spec) error {
+func run(what string, cfg experiments.Config, spec *faults.Spec, topo *machine.Topology) error {
 	start := time.Now()
 	fmt.Printf("collection phase on %s...\n", cfg.CollectTopo.Name)
 	p, err := experiments.NewPipeline(cfg)
@@ -112,7 +142,7 @@ func run(what string, cfg experiments.Config, spec *faults.Spec) error {
 			return nil
 		}},
 		"robustness": {"Fault robustness", func() error {
-			r, err := experiments.Robustness(cfg, spec, nil, nil)
+			r, err := experiments.Robustness(cfg, spec, nil, topo)
 			if err != nil {
 				return err
 			}

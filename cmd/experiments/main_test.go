@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"structlayout/internal/experiments"
@@ -9,7 +11,7 @@ import (
 func TestRunFig9Quick(t *testing.T) {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = 1
-	if err := run("fig9", cfg, nil); err != nil {
+	if err := run("fig9", cfg, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +19,28 @@ func TestRunFig9Quick(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = 1
-	if err := run("fig99", cfg, nil); err == nil {
+	if err := run("fig99", cfg, nil, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBenchCheckRegression exercises the -check gate without running the
+// pipeline: a faster run passes, a >25% slower run fails.
+func TestBenchCheckRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"runs": 2, "short": true, "total_seconds": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := &benchReport{Runs: 2, Short: true, TotalSeconds: 11}
+	if err := checkRegression(ok, base); err != nil {
+		t.Fatalf("10%% slower run rejected: %v", err)
+	}
+	slow := &benchReport{Runs: 2, Short: true, TotalSeconds: 14}
+	if err := checkRegression(slow, base); err == nil {
+		t.Fatal("40% regression accepted")
+	}
+	if err := checkRegression(ok, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
 	}
 }

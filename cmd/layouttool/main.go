@@ -32,6 +32,7 @@ import (
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/report"
 	"structlayout/internal/sampling"
@@ -59,8 +60,13 @@ func main() {
 		dumpDir     = flag.String("dump", "", "write profile.json, trace.json, concmap.txt and fmf.txt to this directory")
 		injectSpec  = flag.String("inject", "", `measurement-fault injection spec, e.g. "loss=0.5,drift=0.3,seed=7" or "all=0.5" (docs/FAULTS.md)`)
 		strict      = flag.Bool("strict", false, "treat degraded measurement data as fatal instead of degrading gracefully")
+		measureRuns = flag.Int("measure", 0, "with -program: also measure each struct's automatic layout individually over this many runs")
+		jobs        = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
 	spec, err := faults.ParseSpec(*injectSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "layouttool:", err)
@@ -69,7 +75,7 @@ func main() {
 	if *rank {
 		err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2, spec, *strict)
 	} else if *programIn != "" {
-		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut, spec, *strict)
+		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut, spec, *strict, *measureRuns)
 	} else {
 		err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut, spec, *strict)
 	}
@@ -96,11 +102,11 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 		if err != nil {
 			return err
 		}
-		res, err := driver.Collect(file, driver.Config{Topo: topo, Seed: seed}, nil)
+		res, err := driver.Collect(file, driver.Config{Topo: topo, Seed: seed, Inject: spec}, nil)
 		if err != nil {
 			return err
 		}
-		analysis, err = core.NewAnalysis(file.Prog, spec.ApplyProfile(res.Profile), spec.ApplyTrace(res.Trace), core.Options{
+		analysis, err = core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
 			LineSize:    128,
 			SliceCycles: res.Cycles/64 + 1,
 			Strict:      strict,
@@ -141,7 +147,7 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 }
 
 // runProgramFile drives the tool over a user-supplied irtext program.
-func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string, spec *faults.Spec, strict bool) error {
+func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string, spec *faults.Spec, strict bool, measureRuns int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -165,14 +171,14 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		}
 		return fmt.Errorf("program %s has no struct %q (structs: %v)", file.Prog.Name, structName, names)
 	}
-	cfg := driver.Config{Topo: topo, Seed: seed}
+	cfg := driver.Config{Topo: topo, Seed: seed, Inject: spec}
 	fmt.Printf("collecting %s on %s...\n", file.Prog.Name, topo.Name)
 	res, err := driver.Collect(file, cfg, nil)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("collected %d samples over %d cycles\n", len(res.Trace.Samples), res.Cycles)
-	analysis, err := core.NewAnalysis(file.Prog, spec.ApplyProfile(res.Profile), spec.ApplyTrace(res.Trace), core.Options{
+	analysis, err := core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
 		LineSize:     cfg.LineSize(),
 		SliceCycles:  res.Cycles/64 + 1, // ~64 slices over the run
 		TopKPositive: topK,
@@ -215,6 +221,27 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 			return err
 		}
 		fmt.Println(adv)
+	}
+	if measureRuns > 0 {
+		base, err := driver.OriginalLayouts(file, cfg.LineSize())
+		if err != nil {
+			return err
+		}
+		variants := make(map[string]*layout.Layout, len(base))
+		for name, orig := range base {
+			sugg, err := analysis.Suggest(name, orig)
+			if err != nil {
+				return err
+			}
+			variants[name] = sugg.Auto
+		}
+		fmt.Printf("measuring per-struct automatic layouts on %s (%d runs each, -j %d)...\n",
+			topo.Name, measureRuns, parallel.Limit())
+		ev, err := driver.Evaluate(file, cfg, base, variants, measureRuns)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ev.String())
 	}
 	return nil
 }

@@ -53,14 +53,40 @@ thread 3 m iters 3
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, "", none(t), false); err != nil {
+	// -measure 2 exercises the multi-struct measurement loop end to end.
+	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, "", none(t), false, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, "", none(t), false); err == nil {
+	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
 		t.Fatal("unknown struct accepted")
 	}
-	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, "", none(t), false); err == nil {
+	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
 		t.Fatal("unknown machine accepted")
+	}
+}
+
+// TestRunProgramFileInject drives the DSL path with a composed fault spec:
+// -inject must now be honored through driver.Collect rather than silently
+// ignored outside the built-in workload.
+func TestRunProgramFileInject(t *testing.T) {
+	src := `
+program t2
+struct s { a i64 b i64 }
+proc m { loop 150 { read s.a loopvar  write s.b loopvar  compute 25 } }
+arena s 64
+thread 0 m iters 4
+thread 1 m iters 4
+`
+	path := filepath.Join(t.TempDir(), "t2.slp")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := faults.ParseSpec("all=0.6,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runProgramFile(path, "s", "bus4", "auto", 3, 4, 1, 20, false, "", spec, false, 0); err != nil {
+		t.Fatalf("graceful mode errored on injected faults: %v", err)
 	}
 }
 

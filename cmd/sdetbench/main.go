@@ -14,6 +14,7 @@ import (
 
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/stats"
 	"structlayout/internal/workload"
@@ -25,10 +26,14 @@ func main() {
 		structLabel = flag.String("struct", "", "struct whose layout to replace (A..E); empty = all baseline")
 		layoutName  = flag.String("layout", "baseline", "layout for -struct: baseline, hotness or a permutation spec")
 		runs        = flag.Int("runs", 10, "measured runs (the paper uses 10)")
+		jobs        = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
 		seed        = flag.Int64("seed", 20070311, "base seed")
 		verbose     = flag.Bool("v", false, "print per-run throughput and coherence counters")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		parallel.SetLimit(*jobs)
+	}
 	if err := run(*machineName, *structLabel, *layoutName, *runs, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "sdetbench:", err)
 		os.Exit(1)
@@ -116,4 +121,3 @@ func indent(s, prefix string) string {
 	}
 	return strings.Join(lines, "\n") + "\n"
 }
-

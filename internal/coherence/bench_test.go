@@ -1,0 +1,69 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"structlayout/internal/machine"
+)
+
+// accessPattern pre-generates a deterministic access stream so the
+// benchmark measures the simulator, not the generator. The mix mirrors the
+// SDET workload: mostly-read scans over a shared arena plus contended
+// writes to a handful of hot lines.
+type accessPattern struct {
+	cpu   []int
+	addr  []int64
+	size  []int
+	write []bool
+}
+
+func makePattern(n, cpus int, maxAddr int64) *accessPattern {
+	rng := rand.New(rand.NewSource(42))
+	p := &accessPattern{
+		cpu:   make([]int, n),
+		addr:  make([]int64, n),
+		size:  make([]int, n),
+		write: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		p.cpu[i] = rng.Intn(cpus)
+		if rng.Intn(10) == 0 {
+			// Hot contended lines near the base (locks, counters).
+			p.addr[i] = 128 + int64(rng.Intn(16))*8
+			p.write[i] = true
+		} else {
+			p.addr[i] = 128 + rng.Int63n(maxAddr-256)
+			p.write[i] = rng.Intn(4) == 0
+		}
+		p.size[i] = 8
+	}
+	return p
+}
+
+func benchmarkAccess(b *testing.B, topo *machine.Topology, cfg Config) {
+	const streamLen = 1 << 16
+	pat := makePattern(streamLen, topo.NumCPUs(), 1<<20)
+	sys, err := NewSystem(topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.ReserveDirectory(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % streamLen
+		sys.Access(pat.cpu[j], pat.addr[j], pat.size[j], pat.write[j])
+	}
+}
+
+// BenchmarkCoherenceAccess measures the simulator's per-access cost — the
+// inner loop of every measured run — on the two evaluation machines.
+func BenchmarkCoherenceAccess(b *testing.B) {
+	b.Run("Bus4", func(b *testing.B) {
+		benchmarkAccess(b, machine.Bus4(), Config{LineSize: 128, Sets: 128, Ways: 8})
+	})
+	b.Run("Superdome128", func(b *testing.B) {
+		benchmarkAccess(b, machine.Superdome128(), Config{LineSize: 128, Sets: 128, Ways: 8})
+	})
+}

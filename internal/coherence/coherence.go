@@ -185,17 +185,26 @@ type lineInfo struct {
 	hasLastWrite bool
 }
 
-// way is one cache slot.
+// way is one cache slot. The line tag is kept inline so the per-access set
+// scan compares integers in the slot array instead of chasing the lineInfo
+// pointer per way.
 type way struct {
+	line  int64
 	info  *lineInfo
 	state State
 }
 
 // cpuCache is one CPU's private cache: Sets × Ways with LRU order per set
-// (most recently used last).
+// (most recently used last). Sets are allocated lazily on first touch with
+// capacity exactly Ways, so the steady state never allocates: evictions
+// shift in place and the append reuses the same backing array.
 type cpuCache struct {
 	sets [][]way
 }
+
+// slabSize is how many lineInfo entries (and their three bitsets) one
+// directory slab allocation holds.
+const slabSize = 256
 
 // System is a full multiprocessor coherence domain. It is not safe for
 // concurrent use: the execution engine drives it single-threaded under a
@@ -204,7 +213,20 @@ type System struct {
 	topo   *machine.Topology
 	cfg    Config
 	caches []cpuCache
-	lines  map[int64]*lineInfo
+
+	// Directory. Lines below flatLines resolve through the flat slice —
+	// one load instead of a map probe on the miss path; everything else
+	// (out-of-arena addresses, tests with sparse address spaces) falls
+	// back to the map. ReserveDirectory sizes the flat region.
+	flat      []*lineInfo
+	flatLines int64
+	lines     map[int64]*lineInfo
+
+	// lineInfo slab pool: entries and their bitset backing are carved from
+	// chunked allocations instead of three small allocs per new line.
+	slab     []lineInfo
+	slabBits []uint64
+	slabPos  int
 
 	lineShift uint
 	setMask   int64
@@ -236,6 +258,82 @@ func NewSystem(topo *machine.Topology, cfg Config) (*System, error) {
 		s.caches[i].sets = make([][]way, cfg.Sets)
 	}
 	return s, nil
+}
+
+// ReserveDirectory pre-sizes the flat directory to cover addresses in
+// [0, maxAddr]. The execution engine calls it with the top of its bump
+// allocator so every arena- and region-backed line takes the flat path;
+// addresses beyond the reservation still work through the map fallback.
+// Existing entries are preserved.
+func (s *System) ReserveDirectory(maxAddr int64) {
+	if maxAddr < 0 {
+		return
+	}
+	n := maxAddr>>s.lineShift + 1
+	if n <= s.flatLines {
+		return
+	}
+	flat := make([]*lineInfo, n)
+	copy(flat, s.flat)
+	// Migrate map entries that the grown flat region now covers.
+	for line, li := range s.lines {
+		if line >= 0 && line < n {
+			flat[line] = li
+			delete(s.lines, line)
+		}
+	}
+	s.flat, s.flatLines = flat, n
+}
+
+// lookup returns the directory entry for line, or nil.
+func (s *System) lookup(line int64) *lineInfo {
+	if uint64(line) < uint64(s.flatLines) {
+		return s.flat[line]
+	}
+	return s.lines[line]
+}
+
+// getOrCreate returns the directory entry for line, allocating from the
+// slab pool on first touch.
+func (s *System) getOrCreate(line int64) *lineInfo {
+	if li := s.lookup(line); li != nil {
+		return li
+	}
+	if s.slabPos == len(s.slab) {
+		s.slab = make([]lineInfo, slabSize)
+		s.slabBits = make([]uint64, slabSize*3*s.words)
+		s.slabPos = 0
+	}
+	li := &s.slab[s.slabPos]
+	base := s.slabPos * 3 * s.words
+	s.slabPos++
+	li.line = line
+	li.sharers = bitset(s.slabBits[base : base+s.words])
+	li.everCached = bitset(s.slabBits[base+s.words : base+2*s.words])
+	li.invalidated = bitset(s.slabBits[base+2*s.words : base+3*s.words])
+	li.owner = -1
+	li.lastWriter = -1
+	if uint64(line) < uint64(s.flatLines) {
+		s.flat[line] = li
+	} else {
+		if s.lines == nil {
+			s.lines = make(map[int64]*lineInfo)
+		}
+		s.lines[line] = li
+	}
+	return li
+}
+
+// forEachLine visits every directory entry (flat and map-backed).
+func (s *System) forEachLine(fn func(line int64, li *lineInfo)) {
+	for line, li := range s.flat {
+		if li != nil {
+			fn(int64(line), li)
+		}
+	}
+	for line, li := range s.lines {
+		fn(line, li)
+	}
 }
 
 // Config returns the cache geometry.
@@ -293,10 +391,11 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 	set := s.caches[cpu].sets[setIdx]
 
 	// Look up in this CPU's cache.
-	for i, w := range set {
-		if w.info.line != line {
+	for i := range set {
+		if set[i].line != line {
 			continue
 		}
+		w := set[i]
 		// Present. Bump LRU.
 		copy(set[i:], set[i+1:])
 		set[len(set)-1] = w
@@ -333,18 +432,7 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 	}
 
 	// Miss path.
-	li := s.lines[line]
-	if li == nil {
-		li = &lineInfo{
-			line:        line,
-			sharers:     newBitset(s.words),
-			everCached:  newBitset(s.words),
-			invalidated: newBitset(s.words),
-			owner:       -1,
-			lastWriter:  -1,
-		}
-		s.lines[line] = li
-	}
+	li := s.getOrCreate(line)
 
 	res := AccessResult{Supplier: -1}
 	switch {
@@ -464,7 +552,7 @@ func (s *System) invalidateOthers(cpu int, li *lineInfo) (int64, int) {
 func (s *System) downgradeOwner(owner int, line int64) bool {
 	set := s.caches[owner].sets[line&s.setMask]
 	for i := range set {
-		if set[i].info.line == line {
+		if set[i].line == line {
 			wb := set[i].state == Modified
 			set[i].state = Shared
 			return wb
@@ -478,8 +566,9 @@ func (s *System) downgradeOwner(owner int, line int64) bool {
 func (s *System) removeLine(cpu int, line int64) bool {
 	set := s.caches[cpu].sets[line&s.setMask]
 	for i := range set {
-		if set[i].info.line == line {
-			s.caches[cpu].sets[line&s.setMask] = append(set[:i], set[i+1:]...)
+		if set[i].line == line {
+			copy(set[i:], set[i+1:])
+			s.caches[cpu].sets[line&s.setMask] = set[:len(set)-1]
 			return true
 		}
 	}
@@ -487,11 +576,17 @@ func (s *System) removeLine(cpu int, line int64) bool {
 }
 
 // insert places the line into the CPU's cache, evicting LRU on overflow.
+// The set keeps its fixed Ways-capacity backing array, so eviction shifts
+// in place and the append never allocates after the first touch.
 func (s *System) insert(cpu int, setIdx int64, li *lineInfo, st State) {
 	set := s.caches[cpu].sets[setIdx]
+	if set == nil {
+		set = make([]way, 0, s.cfg.Ways)
+	}
 	if len(set) >= s.cfg.Ways {
 		victim := set[0]
-		set = set[1:]
+		copy(set, set[1:])
+		set = set[:len(set)-1]
 		victim.info.sharers.clear(cpu)
 		// Eviction is not an invalidation: the next miss is a replacement
 		// miss, so do not touch victim.info.invalidated.
@@ -503,7 +598,7 @@ func (s *System) insert(cpu int, setIdx int64, li *lineInfo, st State) {
 			}
 		}
 	}
-	s.caches[cpu].sets[setIdx] = append(set, way{info: li, state: st})
+	s.caches[cpu].sets[setIdx] = append(set, way{line: li.line, info: li, state: st})
 }
 
 // StateOf reports the MESI state of the line holding addr in the CPU's
@@ -511,7 +606,7 @@ func (s *System) insert(cpu int, setIdx int64, li *lineInfo, st State) {
 func (s *System) StateOf(cpu int, addr int64) State {
 	line := addr >> s.lineShift
 	for _, w := range s.caches[cpu].sets[line&s.setMask] {
-		if w.info.line == line {
+		if w.line == line {
 			return w.state
 		}
 	}
@@ -540,12 +635,12 @@ func (s *System) CheckInvariants() error {
 	for cpu := range s.caches {
 		for _, set := range s.caches[cpu].sets {
 			for _, w := range set {
-				holders[w.info.line] = append(holders[w.info.line], holder{cpu, w.state})
+				holders[w.line] = append(holders[w.line], holder{cpu, w.state})
 			}
 		}
 	}
 	for line, hs := range holders {
-		li := s.lines[line]
+		li := s.lookup(line)
 		if li == nil {
 			return fmt.Errorf("line %d cached but has no directory entry", line)
 		}
@@ -572,10 +667,11 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	// No directory entry may claim sharers that hold nothing.
-	for line, li := range s.lines {
-		if li.sharers.count() != len(holders[line]) {
-			return fmt.Errorf("line %d: stale sharers in directory", line)
+	var stale error
+	s.forEachLine(func(line int64, li *lineInfo) {
+		if stale == nil && li.sharers.count() != len(holders[line]) {
+			stale = fmt.Errorf("line %d: stale sharers in directory", line)
 		}
-	}
-	return nil
+	})
+	return stale
 }

@@ -140,10 +140,21 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 	if len(opts.LockEntries) > 0 && opts.FLG.ExclusionOracle == nil {
 		info, err := locks.Analyze(prog, opts.LockEntries)
 		if err != nil {
-			return nil, err
+			// A CFG the lock analysis cannot walk (unknown entry, unknown
+			// callee, malformed block) costs an optimization, not
+			// correctness: without an exclusion oracle every concurrent
+			// pair keeps its full CycleLoss, which is the conservative
+			// side. Degrade like the other input failures instead of
+			// refusing the whole advisory.
+			if opts.Strict {
+				return nil, fmt.Errorf("core: lock analysis failed (strict mode): %w", err)
+			}
+			log.Add(diag.Degraded, "core", "lock-analysis-failed",
+				"lock analysis failed (%v); proceeding without a mutual-exclusion oracle, so lock-serialized accesses keep their CycleLoss", err)
+		} else {
+			a.Locks = info
+			a.Opts.FLG.ExclusionOracle = info.MutualExclusion()
 		}
-		a.Locks = info
-		a.Opts.FLG.ExclusionOracle = info.MutualExclusion()
 	}
 	if trace != nil {
 		clean := sampling.Sanitize(trace, prog.NumBlocks(), log)

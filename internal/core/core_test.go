@@ -396,3 +396,41 @@ func TestRankStructsAndAdviseAll(t *testing.T) {
 		t.Fatal("advised layout kept the hazard")
 	}
 }
+
+// TestLockAnalysisFallback: a lock-entry set the CFG walker cannot analyze
+// (unknown entry procedure) must degrade to a no-exclusion-oracle analysis
+// with a diagnostic, not refuse the advisory — except under Strict.
+func TestLockAnalysisFallback(t *testing.T) {
+	p, s := lockScenario(t)
+	pf, trace := collectLockScenario(t, p, s)
+	bad := []string{"writerX", "no-such-proc"}
+
+	a, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 5000, LockEntries: bad})
+	if err != nil {
+		t.Fatalf("graceful mode errored on unanalyzable lock entries: %v", err)
+	}
+	if a.Locks != nil || a.Opts.FLG.ExclusionOracle != nil {
+		t.Fatal("failed lock analysis still installed an exclusion oracle")
+	}
+	if !a.Degraded() {
+		t.Fatal("fallback not flagged as degraded")
+	}
+	found := false
+	for _, d := range a.Diag.Entries() {
+		if d.Code == "lock-analysis-failed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no lock-analysis-failed diagnostic:\n%s", a.Diag)
+	}
+	// The degraded analysis still produces a layout (conservative: full
+	// CycleLoss on lock-serialized pairs).
+	if _, err := a.Suggest("G", origLayout(t, s)); err != nil {
+		t.Fatalf("degraded analysis cannot suggest: %v", err)
+	}
+
+	if _, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 5000, LockEntries: bad, Strict: true}); err == nil {
+		t.Fatal("strict mode accepted unanalyzable lock entries")
+	}
+}

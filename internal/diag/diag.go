@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Severity grades a diagnostic.
@@ -82,7 +83,11 @@ type logKey struct {
 // Log accumulates diagnostics. The zero value is NOT usable; use NewLog.
 // All methods tolerate a nil receiver (they drop the diagnostic), so deep
 // pipeline stages can take an optional *Log without guarding every call.
+// A Log is safe for concurrent use: analyses may run on parallel workers,
+// and the aggregated (source, code, severity) keying keeps the rendered
+// output independent of arrival order within a key.
 type Log struct {
+	mu      sync.Mutex
 	entries []Diagnostic
 	index   map[logKey]int
 }
@@ -102,6 +107,8 @@ func (l *Log) AddN(sev Severity, source, code string, n int, format string, args
 	if l == nil || n <= 0 {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	k := logKey{sev: sev, source: source, code: code}
 	if i, ok := l.index[k]; ok {
 		l.entries[i].Count += n
@@ -122,7 +129,10 @@ func (l *Log) Merge(o *Log) {
 	if l == nil || o == nil {
 		return
 	}
-	for _, d := range o.entries {
+	o.mu.Lock()
+	entries := append([]Diagnostic(nil), o.entries...)
+	o.mu.Unlock()
+	for _, d := range entries {
 		l.AddN(d.Severity, d.Source, d.Code, d.Count, "%s", d.Message)
 	}
 }
@@ -133,7 +143,9 @@ func (l *Log) Entries() []Diagnostic {
 	if l == nil {
 		return nil
 	}
+	l.mu.Lock()
 	out := append([]Diagnostic(nil), l.entries...)
+	l.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
 	return out
 }
@@ -143,6 +155,8 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.entries)
 }
 
@@ -152,6 +166,8 @@ func (l *Log) Max() Severity {
 	if l == nil {
 		return max
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, d := range l.entries {
 		if d.Severity > max {
 			max = d.Severity
@@ -165,6 +181,8 @@ func (l *Log) CountAt(sev Severity) int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
 	for _, d := range l.entries {
 		if d.Severity == sev {

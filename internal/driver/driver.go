@@ -8,13 +8,18 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"structlayout/internal/coherence"
 	"structlayout/internal/exec"
+	"structlayout/internal/faults"
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/sampling"
+	"structlayout/internal/stats"
+	"structlayout/internal/workload"
 )
 
 // Config parameterizes runs of a parsed file.
@@ -27,6 +32,10 @@ type Config struct {
 	Seed int64
 	// Sampling enables PMU collection when non-nil.
 	Sampling *sampling.Config
+	// Inject, when non-nil, applies the measurement-fault spec to every
+	// collection this config produces (profile and trace), so -inject is
+	// honored on the DSL/driver path exactly as on the built-in workload.
+	Inject *faults.Spec
 }
 
 func (c *Config) fillDefaults() {
@@ -125,7 +134,10 @@ func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.R
 }
 
 // Collect performs the tool's data-collection phase for a parsed file:
-// one sampled run under declaration-order (or provided) layouts.
+// one sampled run under declaration-order (or provided) layouts. When the
+// config carries a fault spec, the collected profile and trace come back
+// already faulted — the injectors model measurement error, so they sit on
+// the collection boundary, not inside the simulated run.
 func Collect(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.Result, error) {
 	cfg.fillDefaults()
 	if cfg.Sampling == nil {
@@ -136,7 +148,121 @@ func Collect(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*ex
 			Seed:           cfg.Seed + 17,
 		}
 	}
-	return Run(f, cfg, layouts)
+	res, err := Run(f, cfg, layouts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Inject != nil {
+		res.Profile = cfg.Inject.ApplyProfile(res.Profile)
+		res.Trace = cfg.Inject.ApplyTrace(res.Trace)
+	}
+	return res, nil
+}
+
+// Measurement aggregates repeated measured runs of a parsed file under one
+// layout set, following the paper's protocol: outliers removed, trimmed
+// mean reported.
+type Measurement struct {
+	// Mean is the outlier-trimmed mean throughput, in completed top-level
+	// iterations per virtual hour.
+	Mean float64
+	// Runs holds each run's throughput.
+	Runs []float64
+}
+
+// SpeedupOver returns the relative performance versus a baseline, in
+// percent.
+func (m Measurement) SpeedupOver(base Measurement) float64 {
+	return stats.SpeedupPercent(m.Mean, base.Mean)
+}
+
+// Measure runs the file n times under the layouts and aggregates
+// throughput. Runs fan out over the worker pool up to parallel.Limit();
+// each run's seed is a pure function of the run index (never of
+// scheduling) and throughputs gather by index, so the measurement is
+// byte-identical at any -j. Fault specs never apply here: -inject models
+// measurement error in the collected data, not in the program under test.
+func Measure(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (Measurement, error) {
+	if n <= 0 {
+		return Measurement{}, fmt.Errorf("driver: need at least one measured run")
+	}
+	runs, err := parallel.Map(n, func(i int) (float64, error) {
+		rcfg := cfg
+		rcfg.Seed = parallel.SeedFor(cfg.Seed, i, "driver", f.Prog.Name)
+		rcfg.Sampling = nil
+		rcfg.Inject = nil
+		res, err := Run(f, rcfg, layouts)
+		if err != nil {
+			return 0, err
+		}
+		return workload.Throughput(cfg.Topo, res), nil
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Mean: stats.TrimmedMean(runs), Runs: runs}, nil
+}
+
+// StructEval is one struct's outcome when its variant layout is applied
+// alone over the base layouts.
+type StructEval struct {
+	Struct     string
+	Mean       float64
+	SpeedupPct float64
+}
+
+// EvalResult is the multi-struct evaluation table for one machine.
+type EvalResult struct {
+	Baseline Measurement
+	Structs  []StructEval
+}
+
+// Evaluate is the driver's multi-struct measurement loop — the §5.1
+// protocol for DSL programs: measure the file under the base layouts, then
+// re-measure with each struct's variant applied individually. The baseline
+// and every struct cell are independent measurements, so they fan out over
+// the worker pool; rows assemble in sorted struct order, keeping the table
+// byte-identical at any -j.
+func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layout, runs int) (*EvalResult, error) {
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Item 0 is the shared baseline measurement; items 1.. the struct cells.
+	ms, err := parallel.Map(len(names)+1, func(i int) (Measurement, error) {
+		if i == 0 {
+			return Measure(f, cfg, base, runs)
+		}
+		name := names[i-1]
+		overlay := make(map[string]*layout.Layout, len(base)+1)
+		for k, v := range base {
+			overlay[k] = v
+		}
+		overlay[name] = variants[name]
+		m, err := Measure(f, cfg, overlay, runs)
+		if err != nil {
+			return m, fmt.Errorf("driver: measuring %s: %w", name, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &EvalResult{Baseline: ms[0], Structs: make([]StructEval, len(names))}
+	for i, name := range names {
+		res.Structs[i] = StructEval{Struct: name, Mean: ms[i+1].Mean, SpeedupPct: ms[i+1].SpeedupOver(ms[0])}
+	}
+	return res, nil
+}
+
+// String renders the evaluation as a small table.
+func (r *EvalResult) String() string {
+	s := fmt.Sprintf("baseline %.0f iterations/hour\n", r.Baseline.Mean)
+	for _, se := range r.Structs {
+		s += fmt.Sprintf("  struct %-12s %+0.2f%%\n", se.Struct, se.SpeedupPct)
+	}
+	return s
 }
 
 // ValidateThreads checks the declarations against a machine: duplicate

@@ -6,10 +6,12 @@ import (
 	"testing"
 
 	"structlayout/internal/core"
+	"structlayout/internal/faults"
 	"structlayout/internal/ir"
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 )
 
 func mustOriginal(t testing.TB, st *ir.StructType, lineSize int) *layout.Layout {
@@ -247,5 +249,109 @@ func TestMemcachedProgram(t *testing.T) {
 	}
 	if after.Cycles >= before.Cycles {
 		t.Fatalf("suggested layout did not help: before=%d after=%d", before.Cycles, after.Cycles)
+	}
+}
+
+// TestCollectInject checks that a fault spec on the config perturbs the
+// collected artifacts, and that the identity spec leaves them untouched.
+func TestCollectInject(t *testing.T) {
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 5}
+	clean, err := Collect(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := faults.ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Inject = zero
+	same, err := Collect(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Trace.Samples) != len(clean.Trace.Samples) {
+		t.Fatalf("identity spec changed the trace: %d vs %d samples",
+			len(same.Trace.Samples), len(clean.Trace.Samples))
+	}
+	lossy, err := faults.ParseSpec("loss=0.8,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Inject = lossy
+	faulted, err := Collect(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted.Trace.Samples) >= len(clean.Trace.Samples) {
+		t.Fatalf("loss=0.8 did not shrink the trace: %d vs %d samples",
+			len(faulted.Trace.Samples), len(clean.Trace.Samples))
+	}
+}
+
+// TestMeasureDeterministicAcrossWorkers runs the same measurement serially
+// and with a worker pool: identical per-run throughputs are the contract
+// the experiment tables rely on.
+func TestMeasureDeterministicAcrossWorkers(t *testing.T) {
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 3}
+	old := parallel.Limit()
+	defer parallel.SetLimit(old)
+
+	parallel.SetLimit(1)
+	serial, err := Measure(f, cfg, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetLimit(4)
+	par, err := Measure(f, cfg, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(par.Runs))
+	}
+	for i := range serial.Runs {
+		if serial.Runs[i] != par.Runs[i] {
+			t.Fatalf("run %d differs: serial %v parallel %v", i, serial.Runs[i], par.Runs[i])
+		}
+	}
+	if serial.Mean != par.Mean {
+		t.Fatalf("means differ: %v vs %v", serial.Mean, par.Mean)
+	}
+}
+
+// TestEvaluateMultiStruct exercises the multi-struct measurement loop: each
+// declared struct's variant is applied alone and rows come back in sorted
+// struct order.
+func TestEvaluateMultiStruct(t *testing.T) {
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 3}
+	base, err := OriginalLayouts(f, cfg.LineSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The variant reverses conn's declaration order.
+	st := f.Prog.Struct("conn")
+	perm := make([]int, len(st.Fields))
+	for i := range perm {
+		perm[i] = len(perm) - 1 - i
+	}
+	rev, err := layout.FromOrder(st, "reversed", perm, cfg.LineSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(f, cfg, base, map[string]*layout.Layout{"conn": rev}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Baseline.Mean <= 0 {
+		t.Fatalf("non-positive baseline: %v", ev.Baseline.Mean)
+	}
+	if len(ev.Structs) != 1 || ev.Structs[0].Struct != "conn" {
+		t.Fatalf("unexpected rows: %+v", ev.Structs)
+	}
+	if ev.Structs[0].Mean <= 0 {
+		t.Fatalf("non-positive variant mean: %+v", ev.Structs[0])
 	}
 }

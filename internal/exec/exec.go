@@ -100,11 +100,16 @@ type Result struct {
 }
 
 // arena is the line-aligned backing store of one struct type's instances.
+// It also carries the run's dense per-field statistics and lock table, so
+// the per-access hot path indexes slices instead of probing maps.
 type arena struct {
 	base   int64
 	count  int
 	stride int64
 	lay    *layout.Layout
+	name   string
+	stats  []FieldStat // indexed by field
+	locks  []lockState // indexed by instance*numFields + field
 }
 
 // regionAlloc places one ir.Region in the address space.
@@ -115,17 +120,35 @@ type regionAlloc struct {
 	stride    int64 // distance between per-thread copies
 }
 
-// lockKey identifies a spinlock: a field of a concrete struct instance.
-type lockKey struct {
-	structName string
-	instance   int
-	field      int
-}
-
-// lockState tracks a spinlock's holder and FIFO waiters.
+// lockState tracks a spinlock's holder and FIFO waiters. The zero value is
+// an unheld lock.
 type lockState struct {
 	holder  *thread
 	waiters []*thread
+}
+
+// decInstr is one pre-decoded instruction: every name and layout lookup an
+// access needs (arena pointer, field offset/size, region index, callee) is
+// resolved once at Run start, so the interpreter's inner loop performs no
+// map probes.
+type decInstr struct {
+	op    ir.Opcode
+	write bool
+
+	cycles int64         // OpCompute
+	callee *ir.Procedure // OpCall
+
+	arena    *arena // OpField / OpLock / OpUnlock
+	field    int32
+	fieldOff int64
+	size     int
+	inst     ir.InstExpr
+
+	region    *regionAlloc // OpMem
+	regionIdx int32
+	pattern   ir.MemPattern
+	stride    int64
+	offset    int64
 }
 
 // Runner executes one configuration of one program. Build it, define
@@ -138,14 +161,16 @@ type Runner struct {
 	collector *sampling.Collector
 	prof      *profile.Profile
 
-	arenas  map[string]*arena
-	regions map[string]*regionAlloc
-	nextAdr int64
+	arenas    map[string]*arena
+	arenaList []*arena // definition order, for deterministic reverse mapping
+	regions   map[string]*regionAlloc
+	regionIdx map[string]int
+	nextAdr   int64
+
+	dec [][]decInstr // per-block decoded instructions, indexed by BlockID
 
 	threads []*thread
 	cpuUsed map[int]bool
-	locks   map[lockKey]*lockState
-	fields  map[FieldRef]*FieldStat
 	woken   []*thread // threads released by the current step's unlock
 
 	completed int64
@@ -164,16 +189,15 @@ func NewRunner(prog *ir.Program, cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{
-		prog:    prog,
-		cfg:     cfg,
-		coh:     coh,
-		prof:    profile.New(prog),
-		arenas:  make(map[string]*arena),
-		regions: make(map[string]*regionAlloc),
-		cpuUsed: make(map[int]bool),
-		locks:   make(map[lockKey]*lockState),
-		fields:  make(map[FieldRef]*FieldStat),
-		nextAdr: cfg.Cache.LineSize, // keep address 0 unused
+		prog:      prog,
+		cfg:       cfg,
+		coh:       coh,
+		prof:      profile.New(prog),
+		arenas:    make(map[string]*arena),
+		regions:   make(map[string]*regionAlloc),
+		regionIdx: make(map[string]int),
+		cpuUsed:   make(map[int]bool),
+		nextAdr:   cfg.Cache.LineSize, // keep address 0 unused
 	}
 	if cfg.Sampling != nil {
 		sc := *cfg.Sampling
@@ -187,7 +211,7 @@ func NewRunner(prog *ir.Program, cfg Config) (*Runner, error) {
 	}
 	// Regions are allocated eagerly; per-thread regions reserve one copy
 	// per possible CPU.
-	for _, reg := range prog.Regions {
+	for i, reg := range prog.Regions {
 		stride := alignUp(reg.Bytes, cfg.Cache.LineSize)
 		ra := &regionAlloc{size: reg.Bytes, perThread: reg.PerThread, stride: stride}
 		copies := int64(1)
@@ -196,6 +220,7 @@ func NewRunner(prog *ir.Program, cfg Config) (*Runner, error) {
 		}
 		ra.base = r.allocate(stride * copies)
 		r.regions[reg.Name] = ra
+		r.regionIdx[reg.Name] = i
 	}
 	return r, nil
 }
@@ -237,9 +262,18 @@ func (r *Runner) DefineArena(lay *layout.Layout, count int) error {
 		lines++
 	}
 	stride := lines * r.cfg.Cache.LineSize
-	a := &arena{count: count, stride: stride, lay: lay}
+	nf := len(lay.Struct.Fields)
+	a := &arena{
+		count:  count,
+		stride: stride,
+		lay:    lay,
+		name:   name,
+		stats:  make([]FieldStat, nf),
+		locks:  make([]lockState, count*nf),
+	}
 	a.base = r.allocate(stride * int64(count))
 	r.arenas[name] = a
+	r.arenaList = append(r.arenaList, a)
 	return nil
 }
 
@@ -266,7 +300,7 @@ func (r *Runner) AddThread(cpu int, proc string, params []int, iterations int64)
 		params:  append([]int(nil), params...),
 		iters:   iterations,
 		rng:     rand.New(rand.NewSource(r.cfg.Seed*7919 + int64(cpu)*104729 + 13)),
-		cursors: make(map[string]int64),
+		cursors: make([]int64, len(r.prog.Regions)),
 	}
 	t.pushSeq(pr.Tree)
 	r.cpuUsed[cpu] = true
@@ -283,17 +317,12 @@ func (r *Runner) Run() (*Result, error) {
 	if len(r.threads) == 0 {
 		return nil, fmt.Errorf("exec: no threads")
 	}
-	// Every struct accessed must have an arena; verify up front.
-	for _, b := range r.prog.Blocks() {
-		for _, in := range b.Instrs {
-			switch in.Op {
-			case ir.OpField, ir.OpLock, ir.OpUnlock:
-				if r.arenas[in.Struct.Name] == nil {
-					return nil, fmt.Errorf("exec: no arena for struct %s accessed in %s", in.Struct.Name, b.Name())
-				}
-			}
-		}
+	// Decode the program once: resolves every arena/region/callee name and
+	// verifies up front that every accessed struct has an arena.
+	if err := r.decode(); err != nil {
+		return nil, err
 	}
+	r.coh.ReserveDirectory(r.nextAdr)
 
 	q := &threadQueue{}
 	for _, t := range r.threads {
@@ -336,11 +365,23 @@ func (r *Runner) Run() (*Result, error) {
 		return nil, fmt.Errorf("exec: deadlock: %d threads still parked", parked)
 	}
 
+	// Rebuild the sparse field map from the dense per-arena statistics;
+	// only touched fields appear, matching the lazily-populated map the
+	// hot path used to maintain.
+	fields := make(map[FieldRef]*FieldStat)
+	for _, a := range r.arenaList {
+		for fi := range a.stats {
+			if a.stats[fi] != (FieldStat{}) {
+				fs := a.stats[fi]
+				fields[FieldRef{Struct: a.name, Field: fi}] = &fs
+			}
+		}
+	}
 	res := &Result{
 		Completed:    r.completed,
 		Profile:      r.prof,
 		Coherence:    r.coh.GlobalStats(),
-		Fields:       r.fields,
+		Fields:       fields,
 		ThreadCycles: make([]int64, len(r.threads)),
 	}
 	for i, t := range r.threads {
@@ -353,6 +394,54 @@ func (r *Runner) Run() (*Result, error) {
 		res.Trace = r.collector.Finish()
 	}
 	return res, nil
+}
+
+// decode pre-resolves every instruction of the program against the run's
+// arenas, regions and procedures. Called once at Run start, after all
+// DefineArena calls; errors here are the ones the interpreter used to raise
+// lazily (missing arena, unknown region or callee).
+func (r *Runner) decode() error {
+	r.dec = make([][]decInstr, r.prog.NumBlocks())
+	for _, b := range r.prog.Blocks() {
+		ds := make([]decInstr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			d := decInstr{op: in.Op, write: in.Acc == ir.Write}
+			switch in.Op {
+			case ir.OpCompute:
+				d.cycles = in.Cycles
+			case ir.OpCall:
+				d.callee = r.prog.Proc(in.Callee)
+				if d.callee == nil {
+					return fmt.Errorf("exec: unknown procedure %q called in %s", in.Callee, b.Name())
+				}
+			case ir.OpField, ir.OpLock, ir.OpUnlock:
+				a := r.arenas[in.Struct.Name]
+				if a == nil {
+					return fmt.Errorf("exec: no arena for struct %s accessed in %s", in.Struct.Name, b.Name())
+				}
+				d.arena = a
+				d.field = int32(in.Field)
+				d.fieldOff = int64(a.lay.Offsets[in.Field])
+				d.size = in.Struct.Fields[in.Field].Size
+				d.inst = in.Inst
+			case ir.OpMem:
+				reg := r.regions[in.Region]
+				if reg == nil {
+					return fmt.Errorf("exec: unknown region %q", in.Region)
+				}
+				d.region = reg
+				d.regionIdx = int32(r.regionIdx[in.Region])
+				d.pattern = in.Pattern
+				d.stride = in.Stride
+				d.offset = in.Offset
+			default:
+				return fmt.Errorf("exec: unknown opcode %d", in.Op)
+			}
+			ds[i] = d
+		}
+		r.dec[b.Global] = ds
+	}
+	return nil
 }
 
 // threadQueue is a min-heap on (time, id).

@@ -33,6 +33,7 @@ type frame struct {
 	ifn *ir.ExecIf // fIf (phase: arm already pushed; next step counts join)
 
 	block *ir.BasicBlock // fBlock
+	dins  []decInstr     // fBlock: the block's pre-decoded instructions
 }
 
 // thread is one simulated kernel thread pinned to a CPU.
@@ -46,8 +47,8 @@ type thread struct {
 
 	time     int64
 	stack    []frame
-	loopVals []int64          // innermost loop induction values, last = innermost
-	cursors  map[string]int64 // per-region streaming cursors
+	loopVals []int64 // innermost loop induction values, last = innermost
+	cursors  []int64 // per-region streaming cursors, indexed by region
 	curBlock *ir.BasicBlock
 
 	done   bool
@@ -90,7 +91,7 @@ func (r *Runner) step(t *thread) error {
 				t.time += r.cfg.BranchCost
 				r.sample(t)
 			} else {
-				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block})
+				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block, dins: r.dec[n.Block.Global]})
 			}
 		case *ir.ExecLoop:
 			r.prof.AddLoop(n.Loop.Global, n.Count)
@@ -131,11 +132,11 @@ func (r *Runner) step(t *thread) error {
 		r.sample(t)
 		t.pop()
 	case fBlock:
-		if f.idx >= len(f.block.Instrs) {
+		if f.idx >= len(f.dins) {
 			t.pop()
 			return nil
 		}
-		in := f.block.Instrs[f.idx]
+		in := &f.dins[f.idx]
 		f.idx++
 		return r.execInstr(t, in)
 	}
@@ -173,42 +174,34 @@ func (r *Runner) resolveInstance(t *thread, a *arena, e ir.InstExpr) (int, error
 	}
 }
 
-// fieldAddr computes the address and size of a field access.
-func (r *Runner) fieldAddr(t *thread, in ir.Instr) (int64, int, error) {
-	a := r.arenas[in.Struct.Name]
-	idx, err := r.resolveInstance(t, a, in.Inst)
-	if err != nil {
-		return 0, 0, err
-	}
-	return a.base + int64(idx)*a.stride + int64(a.lay.Offsets[in.Field]), in.Struct.Fields[in.Field].Size, nil
-}
-
-// execInstr runs one instruction, charging latency and recording stats.
-func (r *Runner) execInstr(t *thread, in ir.Instr) error {
-	switch in.Op {
+// execInstr runs one pre-decoded instruction, charging latency and
+// recording stats.
+func (r *Runner) execInstr(t *thread, in *decInstr) error {
+	switch in.op {
 	case ir.OpCompute:
-		t.time += in.Cycles
+		t.time += in.cycles
 		r.sample(t)
 	case ir.OpCall:
 		t.time += r.cfg.CallOverhead
-		callee := r.prog.Proc(in.Callee)
-		t.pushSeq(callee.Tree)
+		t.pushSeq(in.callee.Tree)
 		r.sample(t)
 	case ir.OpField:
-		addr, size, err := r.fieldAddr(t, in)
+		a := in.arena
+		idx, err := r.resolveInstance(t, a, in.inst)
 		if err != nil {
 			return err
 		}
-		res := r.coh.Access(t.cpu, addr, size, in.Acc == ir.Write)
+		addr := a.base + int64(idx)*a.stride + in.fieldOff
+		res := r.coh.Access(t.cpu, addr, in.size, in.write)
 		t.time += res.Latency
-		r.recordField(in, res.Latency, res)
+		r.record(a, in.field, res.Latency, res)
 		r.sample(t)
 	case ir.OpMem:
 		addr, err := r.memAddr(t, in)
 		if err != nil {
 			return err
 		}
-		res := r.coh.Access(t.cpu, addr, 8, in.Acc == ir.Write)
+		res := r.coh.Access(t.cpu, addr, 8, in.write)
 		t.time += res.Latency
 		r.sample(t)
 	case ir.OpLock:
@@ -216,17 +209,14 @@ func (r *Runner) execInstr(t *thread, in ir.Instr) error {
 	case ir.OpUnlock:
 		return r.execUnlock(t, in)
 	default:
-		return fmt.Errorf("exec: unknown opcode %d", in.Op)
+		return fmt.Errorf("exec: unknown opcode %d", in.op)
 	}
 	return nil
 }
 
 // memAddr resolves a region access address.
-func (r *Runner) memAddr(t *thread, in ir.Instr) (int64, error) {
-	reg := r.regions[in.Region]
-	if reg == nil {
-		return 0, fmt.Errorf("exec: unknown region %q", in.Region)
-	}
+func (r *Runner) memAddr(t *thread, in *decInstr) (int64, error) {
+	reg := in.region
 	base := reg.base
 	if reg.perThread {
 		base += int64(t.cpu) * reg.stride
@@ -236,34 +226,35 @@ func (r *Runner) memAddr(t *thread, in ir.Instr) (int64, error) {
 		span = 1
 	}
 	var off int64
-	switch in.Pattern {
+	switch in.pattern {
 	case ir.MemSeq:
-		cur := t.cursors[in.Region]
-		stride := in.Stride
+		cur := t.cursors[in.regionIdx]
+		stride := in.stride
 		if stride == 0 {
 			stride = 8
 		}
 		off = cur % span
-		t.cursors[in.Region] = cur + stride
+		t.cursors[in.regionIdx] = cur + stride
 	case ir.MemFixed:
-		off = in.Offset % span
+		off = in.offset % span
 	case ir.MemRand:
 		off = t.rng.Int63n(span)
 	default:
-		return 0, fmt.Errorf("exec: unknown memory pattern %d", in.Pattern)
+		return 0, fmt.Errorf("exec: unknown memory pattern %d", in.pattern)
 	}
 	return base + off, nil
 }
 
-// lockKeyFor resolves the lock identity for a lock/unlock instruction.
-func (r *Runner) lockKeyFor(t *thread, in ir.Instr) (lockKey, int64, error) {
-	a := r.arenas[in.Struct.Name]
-	idx, err := r.resolveInstance(t, a, in.Inst)
+// lockFor resolves the lock state and lock-word address for a lock/unlock
+// instruction.
+func (r *Runner) lockFor(t *thread, in *decInstr) (*lockState, int64, error) {
+	a := in.arena
+	idx, err := r.resolveInstance(t, a, in.inst)
 	if err != nil {
-		return lockKey{}, 0, err
+		return nil, 0, err
 	}
-	addr := a.base + int64(idx)*a.stride + int64(a.lay.Offsets[in.Field])
-	return lockKey{structName: in.Struct.Name, instance: idx, field: in.Field}, addr, nil
+	addr := a.base + int64(idx)*a.stride + in.fieldOff
+	return &a.locks[idx*len(a.stats)+int(in.field)], addr, nil
 }
 
 // execLock acquires a field-resident spinlock: a read-modify-write of the
@@ -272,26 +263,21 @@ func (r *Runner) lockKeyFor(t *thread, in ir.Instr) (lockKey, int64, error) {
 // waiter. Every acquisition dirties the lock's line, so co-locating a hot
 // lock with read-mostly fields produces exactly the false-sharing traffic
 // the paper's CycleLoss term is meant to catch.
-func (r *Runner) execLock(t *thread, in ir.Instr) error {
-	key, addr, err := r.lockKeyFor(t, in)
+func (r *Runner) execLock(t *thread, in *decInstr) error {
+	ls, addr, err := r.lockFor(t, in)
 	if err != nil {
 		return err
 	}
-	ls := r.locks[key]
-	if ls == nil {
-		ls = &lockState{}
-		r.locks[key] = ls
-	}
 	if ls.holder == nil {
 		ls.holder = t
-		res := r.coh.Access(t.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+		res := r.coh.Access(t.cpu, addr, in.size, true)
 		t.time += res.Latency
-		r.recordField(in, res.Latency, res)
+		r.record(in.arena, in.field, res.Latency, res)
 		r.sample(t)
 		return nil
 	}
 	if ls.holder == t {
-		return fmt.Errorf("exec: thread %d re-acquires lock %v it already holds", t.id, key)
+		return fmt.Errorf("exec: thread %d re-acquires lock %s.%d it already holds", t.id, in.arena.name, in.field)
 	}
 	ls.waiters = append(ls.waiters, t)
 	t.parked = true
@@ -299,18 +285,17 @@ func (r *Runner) execLock(t *thread, in ir.Instr) error {
 }
 
 // execUnlock releases the lock and wakes the next waiter.
-func (r *Runner) execUnlock(t *thread, in ir.Instr) error {
-	key, addr, err := r.lockKeyFor(t, in)
+func (r *Runner) execUnlock(t *thread, in *decInstr) error {
+	ls, addr, err := r.lockFor(t, in)
 	if err != nil {
 		return err
 	}
-	ls := r.locks[key]
-	if ls == nil || ls.holder != t {
-		return fmt.Errorf("exec: thread %d releases lock %v it does not hold", t.id, key)
+	if ls.holder != t {
+		return fmt.Errorf("exec: thread %d releases lock %s.%d it does not hold", t.id, in.arena.name, in.field)
 	}
-	res := r.coh.Access(t.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+	res := r.coh.Access(t.cpu, addr, in.size, true)
 	t.time += res.Latency
-	r.recordField(in, res.Latency, res)
+	r.record(in.arena, in.field, res.Latency, res)
 	r.sample(t)
 
 	if len(ls.waiters) == 0 {
@@ -326,9 +311,9 @@ func (r *Runner) execUnlock(t *thread, in ir.Instr) error {
 		wake = w.time
 	}
 	w.time = wake
-	wres := r.coh.Access(w.cpu, addr, in.Struct.Fields[in.Field].Size, true)
+	wres := r.coh.Access(w.cpu, addr, in.size, true)
 	w.time += wres.Latency
-	r.recordField(in, wres.Latency, wres)
+	r.record(in.arena, in.field, wres.Latency, wres)
 	if r.collector != nil {
 		r.collector.Tick(w.cpu, w.time, w.curBlock)
 	}
@@ -336,14 +321,9 @@ func (r *Runner) execUnlock(t *thread, in ir.Instr) error {
 	return nil
 }
 
-// recordField attributes an access result to the field's statistics.
-func (r *Runner) recordField(in ir.Instr, latency int64, res coherence.AccessResult) {
-	key := FieldRef{Struct: in.Struct.Name, Field: in.Field}
-	fs := r.fields[key]
-	if fs == nil {
-		fs = &FieldStat{}
-		r.fields[key] = fs
-	}
+// record attributes an access result to the field's statistics.
+func (r *Runner) record(a *arena, field int32, latency int64, res coherence.AccessResult) {
+	fs := &a.stats[field]
 	fs.Accesses++
 	fs.StallCycles += latency
 	switch res.Miss {
@@ -360,28 +340,25 @@ func (r *Runner) recordField(in ir.Instr, latency int64, res coherence.AccessRes
 		fs.FalseSharing++
 		// Attribute the causing write to its field too, when it lands in a
 		// known arena.
-		if ref, ok := r.fieldAtAddr(res.WriterAddr); ok {
-			cf := r.fields[ref]
-			if cf == nil {
-				cf = &FieldStat{}
-				r.fields[ref] = cf
-			}
-			cf.CausedFalseSharing++
+		if ca, fi := r.fieldAtAddr(res.WriterAddr); ca != nil {
+			ca.stats[fi].CausedFalseSharing++
 		}
 	}
 }
 
-// fieldAtAddr reverse-maps an address to the struct field occupying it.
-func (r *Runner) fieldAtAddr(addr int64) (FieldRef, bool) {
-	for name, a := range r.arenas {
+// fieldAtAddr reverse-maps an address to the arena and field occupying it.
+// Arenas never overlap, so scanning the (short) definition-ordered list is
+// deterministic.
+func (r *Runner) fieldAtAddr(addr int64) (*arena, int) {
+	for _, a := range r.arenaList {
 		if addr < a.base || addr >= a.base+a.stride*int64(a.count) {
 			continue
 		}
 		off := int((addr - a.base) % a.stride)
 		if fi := a.lay.FieldAt(off); fi >= 0 {
-			return FieldRef{Struct: name, Field: fi}, true
+			return a, fi
 		}
-		return FieldRef{}, false
+		return nil, -1
 	}
-	return FieldRef{}, false
+	return nil, -1
 }

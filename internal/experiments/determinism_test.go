@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"structlayout/internal/parallel"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenReduced renders the reduced-config figures exactly as the
+// determinism golden records them.
+func goldenReduced(t *testing.T) string {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f8, err := p.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(f8.String())
+	f9, err := p.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(f9.String())
+	f10, err := p.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(f10.String())
+	rcfg := cfg
+	rcfg.Runs = 1
+	r, err := Robustness(rcfg, nil, []float64{0, 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString(r.String())
+	return sb.String()
+}
+
+func TestGoldenReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reduced pipeline in -short mode")
+	}
+	got := goldenReduced(t)
+	path := filepath.Join("testdata", "golden_reduced.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("reduced pipeline output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts is the parallel harness's core
+// contract: the same pipeline at -j 1, -j 4 and -j GOMAXPROCS renders
+// byte-identical figures. Golden comparison pins the serial content; the
+// other worker counts must match it exactly. Run under -race this also
+// exercises the pool for data races across the whole pipeline.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reduced pipeline in -short mode")
+	}
+	old := parallel.Limit()
+	defer parallel.SetLimit(old)
+
+	limits := []int{1, 4, runtime.GOMAXPROCS(0)}
+	outs := make([]string, len(limits))
+	for i, lim := range limits {
+		parallel.SetLimit(lim)
+		outs[i] = goldenReduced(t)
+	}
+	for i := 1; i < len(limits); i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("-j %d output differs from -j %d:\n--- j=%d ---\n%s\n--- j=%d ---\n%s",
+				limits[i], limits[0], limits[i], outs[i], limits[0], outs[0])
+		}
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_reduced.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != string(want) {
+		t.Fatal("parallel-run output differs from committed golden")
+	}
+}

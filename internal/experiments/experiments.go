@@ -14,11 +14,13 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"structlayout/internal/core"
 	"structlayout/internal/flg"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/workload"
 )
@@ -170,22 +172,46 @@ type Figure struct {
 
 // measureVariants evaluates, per struct, each named layout individually
 // against the shared baseline measurement.
+//
+// The baseline and every label×variant cell are independent measurements
+// (each re-derives its seeds from the shared base seed), so they fan out
+// over the worker pool; cells are enumerated in sorted order and results
+// assembled by index, keeping the rows byte-identical at any -j.
 func (p *Pipeline) measureVariants(topo *machine.Topology, variants map[string]workload.Layouts) ([]Row, error) {
-	base, err := p.Suite.Measure(topo, p.Baselines, p.Cfg.Runs, p.Cfg.BaseSeed)
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type cell struct{ label, name string }
+	var cells []cell
+	for _, label := range workload.Labels() {
+		for _, name := range names {
+			cells = append(cells, cell{label, name})
+		}
+	}
+	// Item 0 is the shared baseline; items 1.. are the cells.
+	ms, err := parallel.Map(len(cells)+1, func(i int) (workload.Measurement, error) {
+		if i == 0 {
+			return p.Suite.Measure(topo, p.Baselines, p.Cfg.Runs, p.Cfg.BaseSeed)
+		}
+		c := cells[i-1]
+		m, err := p.Suite.Measure(topo, p.Baselines.WithLayout(c.label, variants[c.name][c.label]), p.Cfg.Runs, p.Cfg.BaseSeed)
+		if err != nil {
+			return m, fmt.Errorf("experiments: %s/%s on %s: %w", c.label, c.name, topo.Name, err)
+		}
+		return m, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	base := ms[0]
 	var rows []Row
 	for _, label := range workload.Labels() {
-		row := Row{Label: label, Baseline: base.Mean, Pct: make(map[string]float64)}
-		for name, ls := range variants {
-			m, err := p.Suite.Measure(topo, p.Baselines.WithLayout(label, ls[label]), p.Cfg.Runs, p.Cfg.BaseSeed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s on %s: %w", label, name, topo.Name, err)
-			}
-			row.Pct[name] = m.SpeedupOver(base)
-		}
-		rows = append(rows, row)
+		rows = append(rows, Row{Label: label, Baseline: base.Mean, Pct: make(map[string]float64)})
+	}
+	for i, c := range cells {
+		rows[i/len(names)].Pct[c.name] = ms[i+1].SpeedupOver(base)
 	}
 	return rows, nil
 }

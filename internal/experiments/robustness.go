@@ -8,6 +8,7 @@ import (
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/workload"
 )
 
@@ -139,14 +140,17 @@ func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machi
 		BaseSpec:        base.String(),
 		CleanSpeedupPct: cleanMeas.SpeedupOver(baseMeas),
 	}
-	for _, sev := range severities {
+	// Severity cells are independent: each scales the spec, re-runs the
+	// analysis and re-measures from the shared base seed, so they fan out
+	// over the worker pool and the table assembles by severity index.
+	rows, err := parallel.Map(len(severities), func(i int) (RobustnessRow, error) {
+		sev := severities[i]
 		sp := base.Scale(sev)
 		row := RobustnessRow{Severity: sev, Spec: sp.String(), Samples: len(sp.ApplyTrace(trace).Samples)}
 		autos, a, err := analyze(sp)
 		if err != nil {
 			row.Err = err.Error()
-			res.Rows = append(res.Rows, row)
-			continue
+			return row, nil
 		}
 		row.Degraded = a.Degraded()
 		row.Diags = a.Diag.Len()
@@ -154,12 +158,15 @@ func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machi
 		m, err := suite.Measure(topo, withAll(baselines, autos), cfg.Runs, cfg.BaseSeed)
 		if err != nil {
 			row.Err = err.Error()
-			res.Rows = append(res.Rows, row)
-			continue
+			return row, nil
 		}
 		row.SpeedupPct = m.SpeedupOver(baseMeas)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

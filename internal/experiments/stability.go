@@ -6,6 +6,7 @@ import (
 	"structlayout/internal/concurrency"
 	"structlayout/internal/ir"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/stats"
 	"structlayout/internal/workload"
 )
@@ -43,20 +44,30 @@ func (p *Pipeline) ConcurrencyStability(k int) (*StabilityResult, error) {
 	lineSize := int(collectParams.Cache.LineSize)
 	base := suite.BaselineLayouts(lineSize)
 
-	scores := make([]map[[2]ir.SourceLine]float64, 0, 2)
-	counts := make([]int, 0, 2)
-	for _, topo := range []*machine.Topology{machine.Bus4(), machine.Way16()} {
+	// The two collection machines are independent runs; collect them in
+	// parallel, gathered by machine index.
+	topos := []*machine.Topology{machine.Bus4(), machine.Way16()}
+	type machScores struct {
+		scores map[[2]ir.SourceLine]float64
+		count  int
+	}
+	collected, err := parallel.Map(len(topos), func(i int) (machScores, error) {
+		topo := topos[i]
 		_, trace, err := suite.Collect(topo, base, p.Cfg.BaseSeed+int64(topo.NumCPUs()))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: stability collect on %s: %w", topo.Name, err)
+			return machScores{}, fmt.Errorf("experiments: stability collect on %s: %w", topo.Name, err)
 		}
 		cm, err := concurrency.Compute(trace, concurrency.Options{SliceCycles: p.Cfg.Tool.SliceCycles})
 		if err != nil {
-			return nil, err
+			return machScores{}, err
 		}
-		scores = append(scores, cm.LineScores(suite.Prog))
-		counts = append(counts, len(cm.CC))
+		return machScores{scores: cm.LineScores(suite.Prog), count: len(cm.CC)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	scores := []map[[2]ir.SourceLine]float64{collected[0].scores, collected[1].scores}
+	counts := []int{collected[0].count, collected[1].count}
 
 	// The machines run different CPU counts, so code bound to scheduler
 	// classes absent on the small box never executes there. The paper's

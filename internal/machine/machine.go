@@ -48,7 +48,20 @@ type Topology struct {
 
 	numCPUs int
 	strides []int
+	// xfer is the precomputed n×n cache-to-cache latency table (including
+	// the same-CPU hit case), built by Validate for machines small enough
+	// that the quadratic table is cheap. It turns the per-access
+	// TransferLatency from a div/mod loop over levels into one load — the
+	// coherence simulator calls it on every remote fetch and invalidation.
+	xfer []int64
+	// topOf[cpu] is the CPU's coarsest-level coordinate (home-domain check
+	// in MemLatency).
+	topOf []int32
 }
+
+// xferTableMax bounds the CPU count for which Validate precomputes the
+// quadratic transfer-latency table (512² × 8 B = 2 MiB worst case).
+const xferTableMax = 512
 
 // Validate checks internal consistency and precomputes coordinate strides.
 func (t *Topology) Validate() error {
@@ -84,6 +97,24 @@ func (t *Topology) Validate() error {
 		t.strides[i] = stride
 		stride *= t.Shape[i]
 	}
+	t.topOf = make([]int32, n)
+	for cpu := 0; cpu < n; cpu++ {
+		t.topOf[cpu] = int32((cpu / t.strides[0]) % t.Shape[0])
+	}
+	t.xfer = nil
+	if n <= xferTableMax {
+		t.xfer = make([]int64, n*n)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				d := t.distance(a, b)
+				if d >= len(t.Shape) {
+					t.xfer[a*n+b] = t.HitLatency
+				} else {
+					t.xfer[a*n+b] = t.CacheToCache[d]
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -102,6 +133,10 @@ func (t *Topology) Coord(cpu int) []int {
 // Distance returns the coarsest level at which a and b differ, or
 // len(Shape) when a == b (no transfer needed).
 func (t *Topology) Distance(a, b int) int {
+	return t.distance(a, b)
+}
+
+func (t *Topology) distance(a, b int) int {
 	if a == b {
 		return len(t.Shape)
 	}
@@ -116,7 +151,10 @@ func (t *Topology) Distance(a, b int) int {
 // TransferLatency returns the cache-to-cache latency between two CPUs.
 // Same-CPU "transfers" cost a hit.
 func (t *Topology) TransferLatency(from, to int) int64 {
-	d := t.Distance(from, to)
+	if t.xfer != nil {
+		return t.xfer[from*t.numCPUs+to]
+	}
+	d := t.distance(from, to)
 	if d >= len(t.Shape) {
 		return t.HitLatency
 	}
@@ -137,7 +175,7 @@ func (t *Topology) HomeNode(line int64) int {
 // line, accounting for the home node's placement.
 func (t *Topology) MemLatency(cpu int, line int64) int64 {
 	home := t.HomeNode(line)
-	myTop := (cpu / t.strides[0]) % t.Shape[0]
+	myTop := int(t.topOf[cpu])
 	if home == myTop {
 		return t.MemBase
 	}

@@ -6,6 +6,7 @@ import (
 	"structlayout/internal/exec"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/sampling"
 	"structlayout/internal/stats"
@@ -116,17 +117,24 @@ func (m Measurement) SpeedupOver(base Measurement) float64 {
 
 // Measure runs the protocol of §5: n measured runs (the paper uses 10
 // after a warm-up), outliers removed, mean reported. Seeds vary per run.
+//
+// The runs execute in parallel up to parallel.Limit(): each run's seed is a
+// pure function of its index (never of scheduling), each run owns all its
+// simulator state, and throughputs are gathered by run index — so the
+// measurement is byte-identical at any worker count.
 func (s *Suite) Measure(topo *machine.Topology, ls Layouts, n int, baseSeed int64) (Measurement, error) {
 	if n <= 0 {
 		return Measurement{}, fmt.Errorf("workload: need at least one run")
 	}
-	runs := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	runs, err := parallel.Map(n, func(i int) (float64, error) {
 		res, err := s.RunOnce(topo, ls, baseSeed+int64(i)*1009+1, nil)
 		if err != nil {
-			return Measurement{}, err
+			return 0, err
 		}
-		runs = append(runs, Throughput(topo, res))
+		return Throughput(topo, res), nil
+	})
+	if err != nil {
+		return Measurement{}, err
 	}
 	return Measurement{Mean: stats.TrimmedMean(runs), Runs: runs}, nil
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"structlayout/internal/coherence"
 	"structlayout/internal/ir"
@@ -347,12 +348,20 @@ func PrivateAliasOracle(prog *ir.Program) func(b1, b2 ir.BlockID) bool {
 		}
 		return true
 	}
+	// The memo is guarded: one oracle may serve analyses running on
+	// different workers (the robustness sweep fans severity cells out in
+	// parallel), and the verdict per block is deterministic either way.
+	var mu sync.Mutex
 	cache := make(map[ir.BlockID]bool)
 	memo := func(id ir.BlockID) bool {
+		mu.Lock()
 		v, ok := cache[id]
+		mu.Unlock()
 		if !ok {
 			v = private(id)
+			mu.Lock()
 			cache[id] = v
+			mu.Unlock()
 		}
 		return v
 	}
