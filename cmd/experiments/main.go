@@ -5,6 +5,7 @@
 //	experiments fig10      Figure 10: best layout per struct, 128-way
 //	experiments stability  §4.3: concurrency-map stability across machines
 //	experiments robustness fault-severity sweep: layout quality vs corrupted inputs
+//	experiments quality    analyze-only sweep calibrating the quality-score thresholds
 //	experiments all        everything
 //	experiments bench      time the pipeline and write BENCH_pipeline.json
 //
@@ -76,15 +77,33 @@ func main() {
 	}
 
 	var err error
-	if what == "bench" {
+	switch what {
+	case "bench":
 		err = runBench(cfg, *short, *benchOut, *check)
-	} else {
+	case "quality":
+		err = runQuality(cfg, spec)
+	default:
 		err = run(what, cfg, spec, topo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runQuality prints the analyze-only calibration sweep behind the quality
+// thresholds: a denser severity grid than the robustness table, skipping
+// the throughput measurements, so re-running while tuning is cheap.
+func runQuality(cfg experiments.Config, spec *faults.Spec) error {
+	start := time.Now()
+	severities := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.75, 0.9}
+	points, err := experiments.QualityCalibration(cfg, spec, severities)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.QualityReport(points))
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func run(what string, cfg experiments.Config, spec *faults.Spec, topo *machine.Topology) error {
@@ -163,7 +182,7 @@ func run(what string, cfg experiments.Config, spec *faults.Spec, topo *machine.T
 	}
 	j, ok := jobs[what]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict, robustness or all)", what)
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict, robustness, quality or all)", what)
 	}
 	if err := j.fn(); err != nil {
 		return err

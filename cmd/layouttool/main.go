@@ -34,6 +34,7 @@ import (
 	"structlayout/internal/machine"
 	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
+	"structlayout/internal/quality"
 	"structlayout/internal/report"
 	"structlayout/internal/sampling"
 	"structlayout/internal/transform"
@@ -62,6 +63,7 @@ func main() {
 		strict      = flag.Bool("strict", false, "treat degraded measurement data as fatal instead of degrading gracefully")
 		measureRuns = flag.Int("measure", 0, "with -program: also measure each struct's automatic layout individually over this many runs")
 		jobs        = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
+		showQuality = flag.Bool("quality", false, "print the measurement-quality assessment and gate the exit code on its verdict (0 OK, 3 SUSPECT, 4 DEGRADED)")
 	)
 	flag.Parse()
 	if *jobs > 0 {
@@ -72,39 +74,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "layouttool:", err)
 		os.Exit(2)
 	}
+	var analysis *core.Analysis
 	if *rank {
-		err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2, spec, *strict)
+		analysis, err = runRank(*programIn, *collectOn, *seed, *scripts, *k1, *k2, spec, *strict)
 	} else if *programIn != "" {
-		err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut, spec, *strict, *measureRuns)
+		analysis, err = runProgramFile(*programIn, *structLabel, *collectOn, *mode, *seed, *k1, *k2, *topK, *split, *dotOut, spec, *strict, *measureRuns)
 	} else {
-		err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut, spec, *strict)
+		analysis, err = run(*structLabel, *collectOn, *mode, *seed, *scripts, *k1, *k2, *topK, *noAlias, *split, *profileIn, *traceIn, *dumpDir, *dotOut, spec, *strict)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "layouttool:", err)
 		os.Exit(1)
 	}
+	if *showQuality {
+		os.Exit(qualityGate(analysis))
+	}
+}
+
+// qualityGate prints the composite measurement-quality assessment and maps
+// its verdict to an exit code, so CI can assert that faulted collections
+// are flagged: 0 for OK, 3 for SUSPECT, 4 for DEGRADED.
+func qualityGate(analysis *core.Analysis) int {
+	fmt.Printf("measurement quality: %s\n", analysis.Quality)
+	switch analysis.QualityVerdict() {
+	case quality.Suspect:
+		return 3
+	case quality.Degraded:
+		return 4
+	default:
+		return 0
+	}
 }
 
 // runRank prints the whole-program struct ranking (the §5.1 key-structure
 // identification step) for the built-in workload or a DSL program.
-func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, spec *faults.Spec, strict bool) error {
+func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, spec *faults.Spec, strict bool) (*core.Analysis, error) {
 	topo, err := machine.ByName(collectOn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var analysis *core.Analysis
 	if programIn != "" {
 		src, err := os.ReadFile(programIn)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		file, err := irtext.Parse(string(src))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		res, err := driver.Collect(file, driver.Config{Topo: topo, Seed: seed, Inject: spec}, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		analysis, err = core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
 			LineSize:    128,
@@ -114,18 +135,18 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 			FLG:         flg.Options{K1: k1, K2: k2},
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 	} else {
 		params := workload.DefaultParams()
 		params.ScriptsPerThread = scripts
 		suite, err := workload.NewSuite(params)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pf, trace, err := suite.Collect(topo, suite.BaselineLayouts(int(params.Cache.LineSize)), seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		analysis, err = core.NewAnalysis(suite.Prog, spec.ApplyProfile(pf), spec.ApplyTrace(trace), core.Options{
 			LineSize:    int(params.Cache.LineSize),
@@ -135,33 +156,33 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 			FLG:         flg.Options{K1: k1, K2: k2, AliasOracle: workload.PrivateAliasOracle(suite.Prog)},
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	ranks, err := analysis.RankStructs()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Print(core.RankReport(ranks))
-	return nil
+	return analysis, nil
 }
 
 // runProgramFile drives the tool over a user-supplied irtext program.
-func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string, spec *faults.Spec, strict bool, measureRuns int) error {
+func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2 float64, topK int, split bool, dotOut string, spec *faults.Spec, strict bool, measureRuns int) (*core.Analysis, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	file, err := irtext.Parse(string(src))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	topo, err := machine.ByName(collectOn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := driver.ValidateThreads(file, topo); err != nil {
-		return err
+		return nil, err
 	}
 	st := file.Prog.Struct(structName)
 	if st == nil {
@@ -169,13 +190,13 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		for _, s := range file.Prog.Structs {
 			names = append(names, s.Name)
 		}
-		return fmt.Errorf("program %s has no struct %q (structs: %v)", file.Prog.Name, structName, names)
+		return nil, fmt.Errorf("program %s has no struct %q (structs: %v)", file.Prog.Name, structName, names)
 	}
 	cfg := driver.Config{Topo: topo, Seed: seed, Inject: spec}
 	fmt.Printf("collecting %s on %s...\n", file.Prog.Name, topo.Name)
 	res, err := driver.Collect(file, cfg, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("collected %d samples over %d cycles\n", len(res.Trace.Samples), res.Cycles)
 	analysis, err := core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
@@ -187,28 +208,28 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		FLG:          flg.Options{K1: k1, K2: k2},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	orig, err := layout.Original(st, cfg.LineSize())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if dotOut != "" {
 		if err := writeDOT(analysis, structName, dotOut); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if mode == "auto" || mode == "both" {
 		sugg, err := analysis.Suggest(structName, orig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(sugg.Report.String())
 	}
 	if mode == "best" || mode == "both" {
 		best, clusters, err := analysis.Best(structName, orig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("==== incremental (\"best\") layout for struct %s ====\n", structName)
 		fmt.Printf("constraint clusters: %d\n", len(clusters.Clusters))
@@ -218,32 +239,32 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 	if split {
 		adv, err := transform.Split(file.Prog, res.Profile, st, transform.Options{LineSize: cfg.LineSize()})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(adv)
 	}
 	if measureRuns > 0 {
 		base, err := driver.OriginalLayouts(file, cfg.LineSize())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		variants := make(map[string]*layout.Layout, len(base))
 		for name, orig := range base {
 			sugg, err := analysis.Suggest(name, orig)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			variants[name] = sugg.Auto
 		}
 		fmt.Printf("measuring per-struct automatic layouts on %s (%d runs each, -j %d)...\n",
 			topo.Name, measureRuns, parallel.Limit())
-		ev, err := driver.Evaluate(file, cfg, base, variants, measureRuns)
+		ev, err := driver.Evaluate(file, cfg, base, variants, measureRuns, analysis.Quality)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(ev.String())
 	}
-	return nil
+	return analysis, nil
 }
 
 // writeDOT renders a struct's FLG for Graphviz.
@@ -264,21 +285,21 @@ func writeDOT(analysis *core.Analysis, structName, path string) error {
 	return nil
 }
 
-func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float64, topK int, noAlias, split bool, profileIn, traceIn, dumpDir, dotOut string, spec *faults.Spec, strict bool) error {
+func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float64, topK int, noAlias, split bool, profileIn, traceIn, dumpDir, dotOut string, spec *faults.Spec, strict bool) (*core.Analysis, error) {
 	ks := (&labelSet{}).lookup(structLabel)
 	if ks == "" {
-		return fmt.Errorf("unknown struct %q (want A..E)", structLabel)
+		return nil, fmt.Errorf("unknown struct %q (want A..E)", structLabel)
 	}
 	topo, err := machine.ByName(collectOn)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	params := workload.DefaultParams()
 	params.ScriptsPerThread = scripts
 	suite, err := workload.NewSuite(params)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	lineSize := int(params.Cache.LineSize)
 	baselines := suite.BaselineLayouts(lineSize)
@@ -288,12 +309,12 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 	if profileIn != "" {
 		pf, err = readProfile(profileIn, suite)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if traceIn != "" {
 			trace, err = readTrace(traceIn)
 			if err != nil {
-				return err
+				return nil, err
 			}
 		}
 		fmt.Printf("loaded profile from %s\n", profileIn)
@@ -301,7 +322,7 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 		fmt.Printf("collecting on %s (%d CPUs, %d scripts/thread)...\n", topo.Name, topo.NumCPUs(), scripts)
 		pf, trace, err = suite.Collect(topo, baselines, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("collected %d samples\n", len(trace.Samples))
 	}
@@ -319,7 +340,7 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 	}
 	analysis, err := core.NewAnalysis(suite.Prog, spec.ApplyProfile(pf), spec.ApplyTrace(trace), opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if analysis.Diag.Len() > 0 {
 		fmt.Fprintf(os.Stderr, "layouttool: data quality:\n%s", analysis.Diag)
@@ -327,7 +348,7 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 
 	if dumpDir != "" {
 		if err := dumpArtifacts(dumpDir, suite, analysis, pf, trace); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("wrote analysis artifacts to %s\n", dumpDir)
 	}
@@ -336,20 +357,20 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 	orig := baselines[ks]
 	if dotOut != "" {
 		if err := writeDOT(analysis, structName, dotOut); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if mode == "auto" || mode == "both" {
 		sugg, err := analysis.Suggest(structName, orig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(sugg.Report.String())
 	}
 	if mode == "best" || mode == "both" {
 		best, clusters, err := analysis.Best(structName, orig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("==== incremental (\"best\") layout for struct %s ====\n", structName)
 		fmt.Printf("constraint clusters: %d\n", len(clusters.Clusters))
@@ -357,17 +378,17 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 		fmt.Printf("\n-- movement from baseline --\n%s", report.Diff(orig, best))
 	}
 	if mode != "auto" && mode != "best" && mode != "both" {
-		return fmt.Errorf("unknown mode %q", mode)
+		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
 	if split {
 		st := suite.Struct(ks).Type
 		adv, err := transform.Split(suite.Prog, pf, st, transform.Options{LineSize: lineSize})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(adv)
 	}
-	return nil
+	return analysis, nil
 }
 
 // labelSet validates struct labels.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"structlayout/internal/faults"
+	"structlayout/internal/quality"
 )
 
 // none is the identity fault spec the CLI parses from an empty -inject.
@@ -21,8 +22,12 @@ func none(t *testing.T) *faults.Spec {
 func TestRunBuiltinStruct(t *testing.T) {
 	// Short collection, both modes, with dumps.
 	dir := t.TempDir()
-	if err := run("B", "bus4", "both", 7, 2, 4, 1, 20, false, true, "", "", dir, filepath.Join(dir, "flg.dot"), none(t), false); err != nil {
+	analysis, err := run("B", "bus4", "both", 7, 2, 4, 1, 20, false, true, "", "", dir, filepath.Join(dir, "flg.dot"), none(t), false)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if analysis == nil || analysis.Quality == nil {
+		t.Fatal("run returned no analysis or no quality assessment")
 	}
 	for _, f := range []string{"profile.json", "trace.json", "concmap.txt", "fmf.txt", "flg.dot"} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
@@ -30,7 +35,7 @@ func TestRunBuiltinStruct(t *testing.T) {
 		}
 	}
 	// Replay from the dumped profile+trace.
-	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false,
+	if _, err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false,
 		filepath.Join(dir, "profile.json"), filepath.Join(dir, "trace.json"), "", "", none(t), false); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -54,13 +59,13 @@ thread 3 m iters 3
 		t.Fatal(err)
 	}
 	// -measure 2 exercises the multi-struct measurement loop end to end.
-	if err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, "", none(t), false, 2); err != nil {
+	if _, err := runProgramFile(path, "s", "bus4", "both", 3, 4, 1, 20, true, "", none(t), false, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
+	if _, err := runProgramFile(path, "nope", "bus4", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
 		t.Fatal("unknown struct accepted")
 	}
-	if err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
+	if _, err := runProgramFile(path, "s", "nowhere", "auto", 3, 4, 1, 20, false, "", none(t), false, 0); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
 }
@@ -85,25 +90,25 @@ thread 1 m iters 4
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runProgramFile(path, "s", "bus4", "auto", 3, 4, 1, 20, false, "", spec, false, 0); err != nil {
+	if _, err := runProgramFile(path, "s", "bus4", "auto", 3, 4, 1, 20, false, "", spec, false, 0); err != nil {
 		t.Fatalf("graceful mode errored on injected faults: %v", err)
 	}
 }
 
 func TestRunRankMode(t *testing.T) {
-	if err := runRank("", "bus4", 3, 2, 4, 1, none(t), false); err != nil {
+	if _, err := runRank("", "bus4", 3, 2, 4, 1, none(t), false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("Z", "bus4", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
+	if _, err := run("Z", "bus4", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown label accepted")
 	}
-	if err := run("A", "vax", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
+	if _, err := run("A", "vax", "auto", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
-	if err := run("A", "bus4", "sideways", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
+	if _, err := run("A", "bus4", "sideways", 1, 1, 1, 1, 20, false, false, "", "", "", "", none(t), false); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
@@ -116,10 +121,38 @@ func TestRunInjectedFaultsDegradeGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, false); err != nil {
+	analysis, err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, false)
+	if err != nil {
 		t.Fatalf("graceful mode errored on injected faults: %v", err)
 	}
-	if err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, true); err == nil {
+	if got := qualityGate(analysis); got == 0 {
+		t.Fatalf("severity-0.6 faults passed the quality gate (exit %d, %s)", got, analysis.Quality)
+	}
+	if _, err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", spec, true); err == nil {
 		t.Fatal("strict mode accepted heavily faulted input")
+	}
+}
+
+// TestQualityGateVerdicts pins the exit-code mapping the CI robustness
+// smoke job relies on.
+func TestQualityGateVerdicts(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  int
+	}{
+		{1.0, 0},
+		{quality.SuspectBelow, 0},
+		{quality.SuspectBelow - 0.01, 3},
+		{quality.DegradedBelow - 0.01, 4},
+	}
+	a, err := run("B", "bus4", "auto", 7, 2, 4, 1, 20, false, false, "", "", "", "", none(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		a.Quality.Score = c.score
+		if got := qualityGate(a); got != c.want {
+			t.Fatalf("score %.2f: exit %d, want %d", c.score, got, c.want)
+		}
 	}
 }

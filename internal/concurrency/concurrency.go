@@ -98,6 +98,8 @@ type blockCounts struct {
 	block ir.BlockID
 	cpus  []int
 	cnt   []float64
+	// byCPU indexes cnt by CPU for the m == n diagonal correction.
+	byCPU map[int]float64
 	// sorted counts and prefix sums for the Σ min computation.
 	sorted []float64
 	prefix []float64
@@ -143,7 +145,7 @@ func accumulateSlice(m *Map, sc sampling.SliceCounts, relevant func(ir.BlockID) 
 	}
 }
 
-// finish sorts counts and builds prefix sums.
+// finish sorts counts, builds prefix sums and indexes counts by CPU.
 func (bc *blockCounts) finish() {
 	bc.sorted = append([]float64(nil), bc.cnt...)
 	sort.Float64s(bc.sorted)
@@ -151,6 +153,10 @@ func (bc *blockCounts) finish() {
 	for i, v := range bc.sorted {
 		bc.prefix[i+1] = bc.prefix[i] + v
 		bc.total += v
+	}
+	bc.byCPU = make(map[int]float64, len(bc.cpus))
+	for i, cpu := range bc.cpus {
+		bc.byCPU[cpu] = bc.cnt[i]
 	}
 }
 
@@ -188,15 +194,11 @@ func sumMinPairs(bi, bj *blockCounts) float64 {
 	return total
 }
 
-// countFor returns the block's count on the given CPU (0 if absent).
-func (bc *blockCounts) countFor(cpu int) float64 {
-	for i, c := range bc.cpus {
-		if c == cpu {
-			return bc.cnt[i]
-		}
-	}
-	return 0
-}
+// countFor returns the block's count on the given CPU (0 if absent). The
+// index is built once in finish(); without it the m == n correction inside
+// sumMinPairs degenerated to a linear scan per CPU, O(P²) per block pair
+// on wide machines.
+func (bc *blockCounts) countFor(cpu int) float64 { return bc.byCPU[cpu] }
 
 // Value returns CC for a block pair.
 func (m *Map) Value(a, b ir.BlockID) float64 { return m.CC[MakePair(a, b)] }
@@ -243,7 +245,10 @@ func (m *Map) LineScores(p *ir.Program) map[[2]ir.SourceLine]float64 {
 		if lb.Less(la) {
 			la, lb = lb, la
 		}
-		out[[2]ir.SourceLine{la, lb}] = v
+		// += rather than =: distinct block pairs can collapse onto one
+		// source-line pair (two blocks on the same line), and their CC
+		// mass must sum instead of the last pair winning.
+		out[[2]ir.SourceLine{la, lb}] += v
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package concurrency
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 
 	"structlayout/internal/ir"
@@ -217,5 +218,174 @@ func TestLineScores(t *testing.T) {
 		if k[1].Less(k[0]) {
 			t.Fatal("line pair not canonical")
 		}
+	}
+}
+
+// buildThreeBlockProgram returns a program whose single procedure has three
+// blocks on three distinct synthetic source lines.
+func buildThreeBlockProgram(t testing.TB) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("cc3")
+	s := ir.NewStruct("S", ir.I64("a"), ir.I64("b"))
+	p.AddStruct(s)
+	b := p.NewProc("f")
+	b.Read(s, "a", ir.Shared(0))
+	b.Write(s, "a", ir.Shared(0))
+	b.Read(s, "b", ir.Shared(0))
+	b.Done()
+	return p.MustFinalize()
+}
+
+// TestLineScoresSumsCollapsedPairs is the regression test for the map
+// overwrite bug: when two distinct block pairs fall onto the same
+// source-line pair, their CC mass must sum, not last-write-wins.
+func TestLineScoresSumsCollapsedPairs(t *testing.T) {
+	p := buildThreeBlockProgram(t)
+	blocks := p.Blocks()
+	// Force blocks 1 and 2 onto one source line, so the block pairs
+	// (b0,b1) and (b0,b2) collapse onto a single line pair.
+	blocks[2].Line = blocks[1].Line
+	m := &Map{CC: map[Pair]float64{
+		MakePair(blocks[0].Global, blocks[1].Global): 9,
+		MakePair(blocks[0].Global, blocks[2].Global): 4,
+	}}
+	ls := m.LineScores(p)
+	if len(ls) != 1 {
+		t.Fatalf("LineScores = %d entries, want 1 collapsed entry", len(ls))
+	}
+	for _, v := range ls {
+		if v != 13 {
+			t.Fatalf("collapsed line-pair score = %v, want 9+4=13", v)
+		}
+	}
+}
+
+// ccTestTrace builds a deterministic trace rich enough for the invariance
+// properties: several slices, every CPU sampling a few blocks with small
+// integer counts, so all CC values are exact in float64 and the tests can
+// demand exact equality.
+func ccTestTrace(numCPUs int) *sampling.Trace {
+	const sliceCycles = 1000
+	var samples []sampling.Sample
+	for slice := int64(0); slice < 5; slice++ {
+		for cpu := 0; cpu < numCPUs; cpu++ {
+			for blk := 0; blk < 4; blk++ {
+				n := int((slice + int64(cpu) + int64(blk)) % 4)
+				samples = append(samples, mkSamples(slice, sliceCycles, cpu, ir.BlockID(blk), n)...)
+			}
+		}
+	}
+	return &sampling.Trace{Samples: samples, IntervalCycles: 1, NumCPUs: numCPUs}
+}
+
+func requireSameMap(t *testing.T, want, got *Map) {
+	t.Helper()
+	if len(want.CC) != len(got.CC) {
+		t.Fatalf("map sizes differ: %d vs %d", len(want.CC), len(got.CC))
+	}
+	for p, v := range want.CC {
+		if got.CC[p] != v {
+			t.Fatalf("pair %+v: %v vs %v", p, v, got.CC[p])
+		}
+	}
+}
+
+// TestCCInvariantUnderCPURelabeling: CC only asks whether two DIFFERENT
+// processors run two blocks in the same interval, so permuting CPU
+// identities must leave the map bit-for-bit unchanged.
+func TestCCInvariantUnderCPURelabeling(t *testing.T) {
+	const numCPUs = 8
+	tr := ccTestTrace(numCPUs)
+	base, err := Compute(tr, Options{SliceCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (i*3+5) mod 8 is a bijection on [0,8): 3 is coprime with 8.
+	relabeled := make([]sampling.Sample, len(tr.Samples))
+	for i, s := range tr.Samples {
+		s.CPU = (s.CPU*3 + 5) % numCPUs
+		relabeled[i] = s
+	}
+	got, err := Compute(&sampling.Trace{Samples: relabeled, IntervalCycles: 1, NumCPUs: numCPUs}, Options{SliceCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMap(t, base, got)
+}
+
+// TestCCInvariantUnderSampleReordering: slicing buckets samples by ITC, so
+// any permutation of the sample stream must produce the identical map.
+func TestCCInvariantUnderSampleReordering(t *testing.T) {
+	tr := ccTestTrace(4)
+	base, err := Compute(tr, Options{SliceCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20070311))
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]sampling.Sample(nil), tr.Samples...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := Compute(&sampling.Trace{Samples: shuffled, IntervalCycles: 1, NumCPUs: 4}, Options{SliceCycles: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameMap(t, base, got)
+	}
+}
+
+// TestTextRoundTripTopPairsOrdering: serializing and re-parsing the map
+// must preserve the TopPairs ranking, including value ties broken by pair
+// order. Integer CC values stay exact under the %.6g encoding.
+func TestTextRoundTripTopPairsOrdering(t *testing.T) {
+	p := buildThreeBlockProgram(t)
+	blocks := p.Blocks()
+	m := &Map{CC: map[Pair]float64{
+		MakePair(blocks[0].Global, blocks[1].Global): 320,
+		MakePair(blocks[0].Global, blocks[2].Global): 7500,
+		MakePair(blocks[1].Global, blocks[2].Global): 41,
+		MakePair(blocks[2].Global, blocks[2].Global): 7500,
+	}, SliceCycles: 1000}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.TopPairs(len(m.CC))
+	have := got.TopPairs(len(got.CC))
+	if len(want) != len(have) {
+		t.Fatalf("round trip changed pair count: %d vs %d", len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("TopPairs[%d] = %+v after round trip, want %+v", i, have[i], want[i])
+		}
+		if m.CC[want[i]] != got.CC[have[i]] {
+			t.Fatalf("pair %+v: value %v after round trip, want %v", want[i], got.CC[have[i]], m.CC[want[i]])
+		}
+	}
+}
+
+// BenchmarkAccumulateSlice exercises one interval on a Superdome-width
+// machine: 128 CPUs each sampling 8 blocks. The per-CPU index built in
+// finish() keeps the m == n diagonal correction O(1) per lookup; before it,
+// countFor was a linear scan and this benchmark was quadratic in CPUs.
+func BenchmarkAccumulateSlice(b *testing.B) {
+	const numCPUs = 128
+	sc := sampling.SliceCounts{ByCPU: make([]map[ir.BlockID]float64, numCPUs)}
+	for cpu := 0; cpu < numCPUs; cpu++ {
+		counts := make(map[ir.BlockID]float64, 8)
+		for blk := 0; blk < 8; blk++ {
+			counts[ir.BlockID(blk)] = float64(1 + (cpu+blk)%5)
+		}
+		sc.ByCPU[cpu] = counts
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &Map{CC: make(map[Pair]float64)}
+		accumulateSlice(m, sc, nil)
 	}
 }

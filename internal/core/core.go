@@ -28,6 +28,7 @@ import (
 	"structlayout/internal/layout"
 	"structlayout/internal/locks"
 	"structlayout/internal/profile"
+	"structlayout/internal/quality"
 	"structlayout/internal/report"
 	"structlayout/internal/sampling"
 )
@@ -89,12 +90,27 @@ type Analysis struct {
 	// Diag accumulates everything the input sanity checks and the
 	// downstream graph builders noticed about data quality.
 	Diag *diag.Log
+	// Quality is the composite measurement-quality assessment of the
+	// analysis's inputs (internal/quality): one calibrated score in [0,1]
+	// instead of the scattered fixed cutoffs the checks used to gate on.
+	Quality *quality.Assessment
 }
 
 // Degraded reports that some input was unusable and a defined fallback was
 // taken (e.g. affinity-only layout). It consults the live log, so graph
 // construction that degrades after NewAnalysis is reflected too.
 func (a *Analysis) Degraded() bool { return a.Diag.Degraded() }
+
+// QualityVerdict grades the analysis: the score-based verdict, escalated
+// to Degraded whenever the diagnostics log recorded a defined fallback
+// (a fallback is certain damage; the score alone only suspects it).
+func (a *Analysis) QualityVerdict() quality.Verdict {
+	v := a.Quality.Verdict()
+	if a.Degraded() && v < quality.Degraded {
+		v = quality.Degraded
+	}
+	return v
+}
 
 // NewAnalysis assembles an analysis from collected data. trace may be nil
 // (no concurrency collection: the tool degrades to locality-only layout,
@@ -125,7 +141,8 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 	if fmf == nil {
 		fmf = fieldmap.Build(prog)
 	}
-	if cov := fmf.CoverageRatio(prog); cov < 1 {
+	cov := fmf.CoverageRatio(prog)
+	if cov < 1 {
 		sev := diag.Warning
 		if cov < 0.5 {
 			sev = diag.Degraded
@@ -156,19 +173,27 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 			a.Opts.FLG.ExclusionOracle = info.MutualExclusion()
 		}
 	}
+	var clean *sampling.Trace
 	if trace != nil {
-		clean := sampling.Sanitize(trace, prog.NumBlocks(), log)
+		clean = sampling.Sanitize(trace, prog.NumBlocks(), log)
 		if dropped := len(trace.Samples) - len(clean.Samples); dropped > 0 {
 			if opts.Strict {
 				return nil, fmt.Errorf("core: trace sanitization dropped %d of %d samples (strict mode)", dropped, len(trace.Samples))
 			}
 			frac := float64(dropped) / float64(len(trace.Samples))
+			// Any drop is worth a diagnostic: small losses used to vanish
+			// below the 25% cutoff entirely, so nothing downstream could
+			// tell a pristine trace from a mildly damaged one. Now every
+			// drop is logged and feeds the quality score's retention
+			// component; the Degraded escalation keeps its threshold.
+			log.Add(diag.Warning, "core", "trace-drops",
+				"sanitization dropped %d of %d samples (%.1f%%)", dropped, len(trace.Samples), frac*100)
 			if frac > 0.25 {
 				log.Add(diag.Degraded, "core", "trace-quality",
 					"sanitization dropped %.0f%% of the trace; concurrency evidence is thin", frac*100)
 			}
 		}
-		checkSamplesAgainstProfile(clean, pf, log)
+		checkSamplesAgainstProfile(clean, pf, quality.BlockTimeWeights(prog), log)
 		// Restrict concurrency to blocks that touch struct fields: the
 		// paper's pipeline only correlates lines present in the FMF.
 		relevant := func(b ir.BlockID) bool { return len(fmf.AtBlock(b)) > 0 }
@@ -192,6 +217,17 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 	} else {
 		log.Add(diag.Info, "core", "no-trace", "no sample trace provided; locality-only analysis by design")
 	}
+	qin := quality.Inputs{
+		ProfileBlocks: pf.Blocks,
+		BlockWeights:  quality.BlockTimeWeights(prog),
+		Trace:         clean,
+		SliceCycles:   opts.SliceCycles,
+		Coverage:      cov,
+	}
+	if trace != nil {
+		qin.RawSamples = len(trace.Samples)
+	}
+	a.Quality = quality.Assess(qin)
 	// Downstream graph construction reports into the same log.
 	a.Opts.FLG.Diag = log
 	return a, nil
@@ -240,18 +276,20 @@ func sanitizeProfile(pf *profile.Profile, strict bool, log *diag.Log) (*profile.
 	return out, nil
 }
 
-// checkSamplesAgainstProfile cross-checks the two measured inputs: a block
+// checkSamplesAgainstProfile cross-checks the two measured inputs. A block
 // the PMU observed executing but the profile claims never ran means the
-// two files came from different runs (or one is damaged).
-func checkSamplesAgainstProfile(t *sampling.Trace, pf *profile.Profile, log *diag.Log) {
-	inconsistent := make(map[ir.BlockID]bool)
-	for _, s := range t.Samples {
-		if int(s.Block) < len(pf.Blocks) && pf.Blocks[s.Block] == 0 {
-			inconsistent[s.Block] = true
-		}
-	}
-	log.AddN(diag.Warning, "core", "sample-profile-mismatch", len(inconsistent),
+// two files came from different runs (or one is damaged) — that stays a
+// per-block warning. Beyond the binary check, the graded per-block overlap
+// of sample mass vs profile mass (quality.MassConsistency) is logged when
+// it falls low enough to matter, and feeds the composite quality score.
+func checkSamplesAgainstProfile(t *sampling.Trace, pf *profile.Profile, weights []float64, log *diag.Log) {
+	overlap, zeroProfile := quality.MassConsistency(pf.Blocks, weights, t.Samples)
+	log.AddN(diag.Warning, "core", "sample-profile-mismatch", zeroProfile,
 		"block has PMU samples but a zero profile count; profile and trace may be from different runs")
+	if len(t.Samples) > 0 && overlap < 0.9 {
+		log.Add(diag.Warning, "core", "sample-profile-divergence",
+			"sample and profile mass contradict each other on %.0f%% of their mass; the two measurements disagree about where time went", (1-overlap)*100)
+	}
 }
 
 // Suggestion is the tool's output for one struct.
@@ -306,6 +344,7 @@ func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggest
 			Original:    original,
 			TopEdges:    10,
 			Diagnostics: a.Diag,
+			Quality:     a.Quality,
 		},
 	}, nil
 }

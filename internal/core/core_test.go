@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"structlayout/internal/coherence"
+	"structlayout/internal/diag"
 	"structlayout/internal/exec"
 	"structlayout/internal/ir"
 	"structlayout/internal/layout"
@@ -93,6 +94,52 @@ func analysis(t testing.TB) (*Analysis, *ir.StructType) {
 		t.Fatal(err)
 	}
 	return a, s
+}
+
+// hasDiag reports whether the analysis logged the given code at exactly the
+// given severity.
+func hasDiag(a *Analysis, sev diag.Severity, code string) bool {
+	for _, d := range a.Diag.Entries() {
+		if d.Code == code && d.Severity == sev {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceDropsAlwaysWarned is the regression test for the silent-drop
+// bug: sanitization losses at or below the 25% degradation cutoff used to
+// emit no diagnostic at all, so nothing downstream could tell a pristine
+// trace from a mildly damaged one.
+func TestTraceDropsAlwaysWarned(t *testing.T) {
+	p, s := scenario(t)
+	pf, trace := collect(t, p, s)
+
+	clean, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasDiag(clean, diag.Warning, "trace-drops") {
+		t.Fatal("clean trace reported sanitization drops")
+	}
+
+	// Append exact duplicates of a few samples: sanitize drops them (a
+	// small fraction, far below the 25% Degraded escalation).
+	damaged := &sampling.Trace{
+		Samples:        append(append([]sampling.Sample(nil), trace.Samples...), trace.Samples[:5]...),
+		IntervalCycles: trace.IntervalCycles,
+		NumCPUs:        trace.NumCPUs,
+	}
+	a, err := NewAnalysis(p, pf, damaged, Options{LineSize: 128, SliceCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDiag(a, diag.Warning, "trace-drops") {
+		t.Fatalf("small drop emitted no trace-drops warning; diagnostics:\n%s", a.Diag)
+	}
+	if a.Degraded() {
+		t.Fatalf("sub-threshold drop escalated to degraded:\n%s", a.Diag)
+	}
 }
 
 func TestSuggestSeparatesWriterColocatesWalkers(t *testing.T) {

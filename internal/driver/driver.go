@@ -17,6 +17,7 @@ import (
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
 	"structlayout/internal/parallel"
+	"structlayout/internal/quality"
 	"structlayout/internal/sampling"
 	"structlayout/internal/stats"
 	"structlayout/internal/workload"
@@ -215,6 +216,10 @@ type StructEval struct {
 type EvalResult struct {
 	Baseline Measurement
 	Structs  []StructEval
+	// Quality carries the measurement-quality assessment of the collection
+	// the variant layouts derive from, so the table states how trustworthy
+	// the advice it evaluates was.
+	Quality *quality.Assessment
 }
 
 // Evaluate is the driver's multi-struct measurement loop — the §5.1
@@ -222,8 +227,10 @@ type EvalResult struct {
 // re-measure with each struct's variant applied individually. The baseline
 // and every struct cell are independent measurements, so they fan out over
 // the worker pool; rows assemble in sorted struct order, keeping the table
-// byte-identical at any -j.
-func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layout, runs int) (*EvalResult, error) {
+// byte-identical at any -j. q, when non-nil, is the quality assessment of
+// the collection that produced the variants; it is attached to the result
+// and rendered alongside the table.
+func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layout, runs int, q *quality.Assessment) (*EvalResult, error) {
 	names := make([]string, 0, len(variants))
 	for name := range variants {
 		names = append(names, name)
@@ -249,7 +256,7 @@ func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layo
 	if err != nil {
 		return nil, err
 	}
-	res := &EvalResult{Baseline: ms[0], Structs: make([]StructEval, len(names))}
+	res := &EvalResult{Baseline: ms[0], Structs: make([]StructEval, len(names)), Quality: q}
 	for i, name := range names {
 		res.Structs[i] = StructEval{Struct: name, Mean: ms[i+1].Mean, SpeedupPct: ms[i+1].SpeedupOver(ms[0])}
 	}
@@ -261,6 +268,9 @@ func (r *EvalResult) String() string {
 	s := fmt.Sprintf("baseline %.0f iterations/hour\n", r.Baseline.Mean)
 	for _, se := range r.Structs {
 		s += fmt.Sprintf("  struct %-12s %+0.2f%%\n", se.Struct, se.SpeedupPct)
+	}
+	if r.Quality != nil {
+		s += fmt.Sprintf("  collection quality: %s\n", r.Quality)
 	}
 	return s
 }

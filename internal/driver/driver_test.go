@@ -341,7 +341,7 @@ func TestEvaluateMultiStruct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(f, cfg, base, map[string]*layout.Layout{"conn": rev}, 3)
+	ev, err := Evaluate(f, cfg, base, map[string]*layout.Layout{"conn": rev}, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"structlayout/internal/quality"
 )
 
 // reducedConfig keeps test wall-clock sane while preserving the shapes.
@@ -242,6 +244,9 @@ func TestRobustnessSweep(t *testing.T) {
 	if clean.SpeedupPct != res.CleanSpeedupPct {
 		t.Fatalf("severity 0 speedup %.4f != clean %.4f", clean.SpeedupPct, res.CleanSpeedupPct)
 	}
+	if clean.Verdict != quality.OK.String() {
+		t.Fatalf("severity 0 quality verdict %s (score %.3f), want OK", clean.Verdict, clean.Quality)
+	}
 	// Full severity composes every injector: the trace must shrink (loss +
 	// truncation beat duplication) and the empty FMF must flag degradation.
 	worst := res.Rows[2]
@@ -256,6 +261,37 @@ func TestRobustnessSweep(t *testing.T) {
 	}
 	if worst.Diags == 0 {
 		t.Fatal("full-severity input produced no diagnostics")
+	}
+	if worst.Verdict == quality.OK.String() {
+		t.Fatalf("full-severity input scored %s (%.3f); the quality gate must not pass it", worst.Verdict, worst.Quality)
+	}
+	if worst.Quality >= clean.Quality {
+		t.Fatalf("full-severity quality %.3f did not drop below clean %.3f", worst.Quality, clean.Quality)
+	}
+}
+
+// TestQualityCalibrationThresholds pins the calibration contract from the
+// issue: over the analyze-only sweep, clean collections grade OK while
+// low-severity corruption (0.10–0.25) is already flagged SUSPECT. This is
+// the test that keeps SuspectBelow honest if the score composition changes.
+func TestQualityCalibrationThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	cfg := reducedConfig()
+	points, err := QualityCalibration(cfg, nil, []float64{0, 0.1, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + QualityReport(points))
+	want := map[float64]string{0: "OK", 0.1: "SUSPECT", 0.25: "SUSPECT"}
+	for _, pt := range points {
+		if pt.Err != "" {
+			t.Fatalf("severity %.2f rejected: %s", pt.Severity, pt.Err)
+		}
+		if pt.Verdict != want[pt.Severity] {
+			t.Fatalf("severity %.2f graded %s (%s), want %s", pt.Severity, pt.Verdict, pt.Assessment, want[pt.Severity])
+		}
 	}
 }
 

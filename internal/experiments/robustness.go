@@ -9,6 +9,9 @@ import (
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
 	"structlayout/internal/parallel"
+	"structlayout/internal/profile"
+	"structlayout/internal/quality"
+	"structlayout/internal/sampling"
 	"structlayout/internal/workload"
 )
 
@@ -33,6 +36,11 @@ type RobustnessRow struct {
 	// SpeedupPct is the throughput gain of the faulted automatic layouts
 	// (all structs applied together) over the hand-tuned baseline.
 	SpeedupPct float64
+	// Quality is the composite measurement-quality score of the faulted
+	// analysis, and Verdict its graded band (OK / SUSPECT / DEGRADED) —
+	// the row that calibrates internal/quality's thresholds.
+	Quality float64
+	Verdict string
 	// Err is set when the analysis refused the faulted input outright; the
 	// quality columns are then meaningless.
 	Err string
@@ -76,53 +84,13 @@ func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machi
 		topo = machine.Bus4()
 	}
 
-	suite, err := workload.NewSuite(cfg.Params)
+	sw, err := newSweep(cfg)
 	if err != nil {
 		return nil, err
 	}
-	lineSize := int(cfg.Params.Cache.LineSize)
-	baselines := suite.BaselineLayouts(lineSize)
+	suite, baselines, trace := sw.suite, sw.baselines, sw.trace
 
-	collectParams := cfg.Params
-	if cfg.CollectScripts > 0 {
-		collectParams.ScriptsPerThread = cfg.CollectScripts
-	}
-	collectSuite, err := workload.NewSuite(collectParams)
-	if err != nil {
-		return nil, err
-	}
-	pf, trace, err := collectSuite.Collect(cfg.CollectTopo, collectSuite.BaselineLayouts(lineSize), cfg.BaseSeed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: robustness collection: %w", err)
-	}
-	fullFMF := fieldmap.Build(collectSuite.Prog)
-
-	toolOpts := cfg.Tool
-	toolOpts.LineSize = lineSize
-	if toolOpts.FLG.AliasOracle == nil {
-		toolOpts.FLG.AliasOracle = workload.PrivateAliasOracle(collectSuite.Prog)
-	}
-
-	analyze := func(sp *faults.Spec) (workload.Layouts, *core.Analysis, error) {
-		opts := toolOpts
-		opts.FMF = sp.ApplyFMF(fullFMF, collectSuite.Prog)
-		a, err := core.NewAnalysis(collectSuite.Prog, sp.ApplyProfile(pf), sp.ApplyTrace(trace), opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		autos := make(workload.Layouts, len(workload.Labels()))
-		for _, label := range workload.Labels() {
-			ks := suite.Struct(label)
-			sugg, err := a.Suggest(ks.Type.Name, baselines[label])
-			if err != nil {
-				return nil, nil, fmt.Errorf("suggest %s: %w", label, err)
-			}
-			autos[label] = sugg.Auto
-		}
-		return autos, a, nil
-	}
-
-	cleanAutos, _, err := analyze(base.Scale(0))
+	cleanAutos, _, err := sw.analyze(base.Scale(0))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: robustness clean analysis: %w", err)
 	}
@@ -147,13 +115,15 @@ func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machi
 		sev := severities[i]
 		sp := base.Scale(sev)
 		row := RobustnessRow{Severity: sev, Spec: sp.String(), Samples: len(sp.ApplyTrace(trace).Samples)}
-		autos, a, err := analyze(sp)
+		autos, a, err := sw.analyze(sp)
 		if err != nil {
 			row.Err = err.Error()
 			return row, nil
 		}
 		row.Degraded = a.Degraded()
 		row.Diags = a.Diag.Len()
+		row.Quality = a.Quality.Score
+		row.Verdict = a.QualityVerdict().String()
 		row.LayoutDistance = layoutDistance(cleanAutos, autos)
 		m, err := suite.Measure(topo, withAll(baselines, autos), cfg.Runs, cfg.BaseSeed)
 		if err != nil {
@@ -168,6 +138,128 @@ func Robustness(cfg Config, base *faults.Spec, severities []float64, topo *machi
 	}
 	res.Rows = rows
 	return res, nil
+}
+
+// sweep holds one clean collection of the built-in workload plus everything
+// needed to replay the analysis under scaled fault specs. Robustness (which
+// also measures throughput) and QualityCalibration (analyze-only) share it.
+type sweep struct {
+	suite, collectSuite *workload.Suite
+	baselines           workload.Layouts
+	pf                  *profile.Profile
+	trace               *sampling.Trace
+	fullFMF             *fieldmap.File
+	toolOpts            core.Options
+}
+
+func newSweep(cfg Config) (*sweep, error) {
+	suite, err := workload.NewSuite(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(cfg.Params.Cache.LineSize)
+	sw := &sweep{suite: suite, baselines: suite.BaselineLayouts(lineSize)}
+
+	collectParams := cfg.Params
+	if cfg.CollectScripts > 0 {
+		collectParams.ScriptsPerThread = cfg.CollectScripts
+	}
+	sw.collectSuite, err = workload.NewSuite(collectParams)
+	if err != nil {
+		return nil, err
+	}
+	sw.pf, sw.trace, err = sw.collectSuite.Collect(cfg.CollectTopo, sw.collectSuite.BaselineLayouts(lineSize), cfg.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: robustness collection: %w", err)
+	}
+	sw.fullFMF = fieldmap.Build(sw.collectSuite.Prog)
+
+	sw.toolOpts = cfg.Tool
+	sw.toolOpts.LineSize = lineSize
+	if sw.toolOpts.FLG.AliasOracle == nil {
+		sw.toolOpts.FLG.AliasOracle = workload.PrivateAliasOracle(sw.collectSuite.Prog)
+	}
+	return sw, nil
+}
+
+// analyze replays the analysis pipeline over the shared collection with the
+// given fault spec applied, and derives every struct's automatic layout.
+func (sw *sweep) analyze(sp *faults.Spec) (workload.Layouts, *core.Analysis, error) {
+	opts := sw.toolOpts
+	opts.FMF = sp.ApplyFMF(sw.fullFMF, sw.collectSuite.Prog)
+	a, err := core.NewAnalysis(sw.collectSuite.Prog, sp.ApplyProfile(sw.pf), sp.ApplyTrace(sw.trace), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	autos := make(workload.Layouts, len(workload.Labels()))
+	for _, label := range workload.Labels() {
+		ks := sw.suite.Struct(label)
+		sugg, err := a.Suggest(ks.Type.Name, sw.baselines[label])
+		if err != nil {
+			return nil, nil, fmt.Errorf("suggest %s: %w", label, err)
+		}
+		autos[label] = sugg.Auto
+	}
+	return autos, a, nil
+}
+
+// QualityPoint is one severity's measurement-quality outcome.
+type QualityPoint struct {
+	Severity float64
+	// Assessment is the faulted analysis's composite assessment.
+	Assessment *quality.Assessment
+	// Verdict is the graded band after diagnostic escalation.
+	Verdict string
+	// Err is set when the analysis refused the faulted input outright.
+	Err string
+}
+
+// QualityCalibration is the analyze-only severity sweep behind the
+// thresholds in internal/quality: it collects once, replays the analysis
+// under the base spec scaled to each severity, and reports score and
+// component breakdown per point — no throughput measurement, so it is cheap
+// enough to iterate on while picking SuspectBelow/DegradedBelow. A nil base
+// sweeps every fault kind at full strength, matching Robustness.
+func QualityCalibration(cfg Config, base *faults.Spec, severities []float64) ([]QualityPoint, error) {
+	if base == nil {
+		base = faults.New(cfg.BaseSeed)
+		for _, k := range faults.Kinds {
+			base.Severity[k] = 1
+		}
+	}
+	if len(severities) == 0 {
+		severities = DefaultSeverities
+	}
+	sw, err := newSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(len(severities), func(i int) (QualityPoint, error) {
+		sev := severities[i]
+		pt := QualityPoint{Severity: sev}
+		_, a, err := sw.analyze(base.Scale(sev))
+		if err != nil {
+			pt.Err = err.Error()
+			return pt, nil
+		}
+		pt.Assessment = a.Quality
+		pt.Verdict = a.QualityVerdict().String()
+		return pt, nil
+	})
+}
+
+// QualityReport renders the calibration sweep.
+func QualityReport(points []QualityPoint) string {
+	s := "quality calibration sweep (composed faults over the built-in workload)\n"
+	s += fmt.Sprintf("thresholds: SUSPECT below %.2f, DEGRADED below %.2f\n", quality.SuspectBelow, quality.DegradedBelow)
+	for _, pt := range points {
+		if pt.Err != "" {
+			s += fmt.Sprintf("  severity %.2f  analysis rejected input: %s\n", pt.Severity, pt.Err)
+			continue
+		}
+		s += fmt.Sprintf("  severity %.2f  %8s  %s\n", pt.Severity, pt.Verdict, pt.Assessment)
+	}
+	return s
 }
 
 // withAll overlays every struct's variant layout onto the baselines.
@@ -211,7 +303,7 @@ func movedFields(ref, got *layout.Layout) int {
 func (r *RobustnessResult) String() string {
 	s := fmt.Sprintf("robustness sweep on %s (faults: %s)\n", r.Machine, r.BaseSpec)
 	s += fmt.Sprintf("clean automatic layouts: %+.2f%% over baseline\n", r.CleanSpeedupPct)
-	s += "  severity  samples  degraded  diags  layout-dist  auto-speedup\n"
+	s += "  severity  samples  degraded  diags  quality   verdict  layout-dist  auto-speedup\n"
 	for _, row := range r.Rows {
 		if row.Err != "" {
 			s += fmt.Sprintf("  %8.2f  %7d  analysis rejected input: %s\n", row.Severity, row.Samples, row.Err)
@@ -221,8 +313,9 @@ func (r *RobustnessResult) String() string {
 		if row.Degraded {
 			deg = "YES"
 		}
-		s += fmt.Sprintf("  %8.2f  %7d  %8s  %5d  %10.0f%%  %+11.2f%%\n",
-			row.Severity, row.Samples, deg, row.Diags, row.LayoutDistance*100, row.SpeedupPct)
+		s += fmt.Sprintf("  %8.2f  %7d  %8s  %5d  %7.3f  %8s  %10.0f%%  %+11.2f%%\n",
+			row.Severity, row.Samples, deg, row.Diags, row.Quality, row.Verdict,
+			row.LayoutDistance*100, row.SpeedupPct)
 	}
 	return s
 }

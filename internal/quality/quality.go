@@ -1,0 +1,442 @@
+// Package quality scores how trustworthy one analysis's measured inputs
+// are. The paper's pipeline (§4.2–4.3) consumes a PBO profile, a PMU
+// sample trace, and a field mapping file — all measurements, all imperfect
+// in practice. The fixed per-check cutoffs the pipeline used before
+// (coverage < 50%, drop fraction > 25%) leave a blind spot: the robustness
+// sweep in EXPERIMENTS.md shows layouts turning *harmful* at fault
+// severity 0.25 while every individual check still reads "fine".
+//
+// This package replaces those scattered cutoffs with one composite,
+// graded score in [0, 1] per analysis, combining:
+//
+//   - Consistency: absence of contradictions between sample mass and
+//     profile mass per block. The two files measure the same execution, so
+//     neither may show activity the other rules out; misattributed samples
+//     and zeroed, negated or inflated profile counts all contradict.
+//   - Balance: entropy of the per-CPU sample distribution over the CPUs
+//     that produced samples. Bursty loss and drift skew it.
+//   - Occupancy: entropy of the per-slice sample distribution over the
+//     trace's time span. Burst-emptied or compressed slices lower it.
+//   - Coverage: the FMF's coverage ratio of the program's field-touching
+//     blocks (stale FMFs lower it).
+//   - Retention: the fraction of raw samples surviving sanitization
+//     (duplicates, impossible CPUs/blocks/timestamps lower it).
+//
+// The score maps to a graded verdict: OK / SUSPECT / DEGRADED. The
+// SUSPECT band is calibrated against the fault-injection severity sweep
+// (`cmd/experiments quality`, see EXPERIMENTS.md): clean collections of
+// the built-in workload score above SuspectBelow, while composed faults
+// at severities 0.10–0.25 — damage that already misleads the layout tool
+// but used to trip no threshold at all — fall below it.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/sampling"
+)
+
+// Verdict grades an assessment.
+type Verdict int
+
+const (
+	// OK: the measured inputs look internally consistent; the advisory can
+	// be trusted as far as the paper's own protocol trusts measurements.
+	OK Verdict = iota
+	// Suspect: no single check failed hard, but the composite score sits
+	// in the band where the robustness sweep shows layouts already turning
+	// harmful. Re-collect before adopting the advisory unattended.
+	Suspect
+	// Degraded: a defined fallback was taken or the score collapsed; the
+	// advisory rests on thin or contradictory evidence.
+	Degraded
+)
+
+// String renders the verdict the way tables and reports print it.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "OK"
+	case Suspect:
+		return "SUSPECT"
+	case Degraded:
+		return "DEGRADED"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Calibrated thresholds. Scores at or above SuspectBelow read OK; scores
+// in [DegradedBelow, SuspectBelow) read SUSPECT; below DegradedBelow,
+// DEGRADED. Calibration procedure: `go run ./cmd/experiments quality`
+// sweeps the composed fault spec over the built-in workload's collection
+// and prints score per severity; the thresholds are set so severity 0
+// clears SuspectBelow with margin while severities 0.10 and 0.25 fall
+// into the SUSPECT band (EXPERIMENTS.md records the sweep).
+const (
+	SuspectBelow  = 0.97
+	DegradedBelow = 0.45
+)
+
+// Grade maps a composite score to its verdict band.
+func Grade(score float64) Verdict {
+	switch {
+	case score < DegradedBelow:
+		return Degraded
+	case score < SuspectBelow:
+		return Suspect
+	default:
+		return OK
+	}
+}
+
+// Components are the individual quality signals, each in [0, 1] with 1
+// meaning "no evidence of a problem".
+type Components struct {
+	// Consistency is 1 minus the mutually contradicted sample/profile mass.
+	Consistency float64
+	// Balance is the normalized entropy of per-CPU sample counts.
+	Balance float64
+	// Occupancy is the normalized entropy of per-slice sample counts.
+	Occupancy float64
+	// Coverage is the FMF coverage ratio.
+	Coverage float64
+	// Retention is the fraction of raw samples surviving sanitization.
+	Retention float64
+}
+
+// Assessment is one analysis's measurement-quality outcome.
+type Assessment struct {
+	Components
+	// Score is the composite in [0, 1]: a weighted geometric mean of the
+	// applicable components.
+	Score float64
+	// HasTrace records whether a sample trace was part of the assessment;
+	// without one only Coverage applies (locality-only analysis by design).
+	HasTrace bool
+}
+
+// Verdict grades the score. Callers holding a diagnostics log should
+// escalate to Degraded when the log records a fallback (core.Analysis
+// does this in its QualityVerdict).
+func (a *Assessment) Verdict() Verdict {
+	if a == nil {
+		return OK
+	}
+	return Grade(a.Score)
+}
+
+// String renders the assessment on one line, deterministically.
+func (a *Assessment) String() string {
+	if a == nil {
+		return "(no assessment)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "score %.3f (%s):", a.Score, a.Verdict())
+	if !a.HasTrace {
+		fmt.Fprintf(&sb, " coverage %.3f (no trace: locality-only analysis)", a.Coverage)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, " consistency %.3f, balance %.3f, occupancy %.3f, coverage %.3f, retention %.3f",
+		a.Consistency, a.Balance, a.Occupancy, a.Coverage, a.Retention)
+	return sb.String()
+}
+
+// Inputs are the raw quantities an assessment derives from. All of them
+// come straight out of the analysis front end: the sanitized profile and
+// trace, the pre-sanitization sample count, the concurrency interval, and
+// the FMF coverage ratio.
+type Inputs struct {
+	// ProfileBlocks are the sanitized per-block profile counts.
+	ProfileBlocks []float64
+	// BlockWeights, when non-nil, are per-execution time estimates per
+	// block (see BlockTimeWeights); they make execution counts comparable
+	// to time-proportional PMU sample mass.
+	BlockWeights []float64
+	// Trace is the sanitized sample trace; nil means no concurrency
+	// collection happened (locality-only analysis by design).
+	Trace *sampling.Trace
+	// RawSamples counts the trace's samples before sanitization.
+	RawSamples int
+	// SliceCycles is the concurrency interval, for slice occupancy.
+	SliceCycles int64
+	// Coverage is the FMF coverage ratio of the program.
+	Coverage float64
+}
+
+// Component weights. Consistency carries the most because it is the only
+// signal that cross-checks two independent measurements against each
+// other; coverage and retention are the steadiest monotone fault signals
+// in the calibration sweep; balance barely moves under any injector on
+// this machine model and gets token weight.
+const (
+	wConsistency = 0.35
+	wBalance     = 0.05
+	wOccupancy   = 0.10
+	wCoverage    = 0.30
+	wRetention   = 0.20
+)
+
+// Assess computes the composite measurement-quality score. The result is
+// a pure function of the inputs — every internal accumulation runs in a
+// fixed order — so identical collections yield byte-identical renderings
+// at any worker count.
+func Assess(in Inputs) *Assessment {
+	a := &Assessment{}
+	a.Coverage = clamp01(in.Coverage)
+	if in.Trace == nil {
+		// Locality-only by design: the trace components do not apply and
+		// must not dilute (or inflate) the score.
+		a.Consistency, a.Balance, a.Occupancy, a.Retention = 1, 1, 1, 1
+		a.Score = a.Coverage
+		return a
+	}
+	a.HasTrace = true
+	a.Consistency, _ = MassConsistency(in.ProfileBlocks, in.BlockWeights, in.Trace.Samples)
+	a.Balance = cpuBalance(in.Trace)
+	a.Occupancy = sliceOccupancy(in.Trace, in.SliceCycles)
+	a.Retention = retention(len(in.Trace.Samples), in.RawSamples)
+	a.Score = combine([]weighted{
+		{a.Consistency, wConsistency},
+		{a.Balance, wBalance},
+		{a.Occupancy, wOccupancy},
+		{a.Coverage, wCoverage},
+		{a.Retention, wRetention},
+	})
+	return a
+}
+
+type weighted struct{ value, weight float64 }
+
+// combine is a weighted geometric mean: any single collapsed component
+// drags the composite down hard, which is the behaviour a trust score
+// needs (an average would let four healthy signals mask one dead one).
+func combine(parts []weighted) float64 {
+	var logSum, wSum float64
+	for _, p := range parts {
+		v := clamp01(p.value)
+		if v < 1e-3 {
+			v = 1e-3
+		}
+		logSum += p.weight * math.Log(v)
+		wSum += p.weight
+	}
+	if wSum == 0 {
+		return 0
+	}
+	return math.Exp(logSum / wSum)
+}
+
+// minExpectedSamples is the expected-sample floor above which a block with
+// zero observed samples counts as contradicted profile mass. The per-block
+// time estimate behind the expectation ignores dynamic contention and can
+// be off by an order of magnitude either way; 20 expected samples keeps a
+// mis-estimated but honest block from ever tripping the check.
+const minExpectedSamples = 20.0
+
+// MassConsistency cross-checks the two measured inputs for contradictions.
+// A naive distributional overlap between sample mass and profile mass
+// cannot be calibrated here: PMU samples land in proportion to *time*, and
+// on this workload time is dominated by dynamic contention (the very false
+// sharing the tool hunts), so clean collections legitimately diverge from
+// any execution-count or static-cost prediction. What clean collections
+// never do is *contradict* each other:
+//
+//   - sample mass on blocks whose profile count is zero or negative — the
+//     PMU saw code run that the profile says never ran (misattributed
+//     samples, zeroed or negated profile counts);
+//   - profile mass expected to draw many samples (per the BlockTimeWeights
+//     estimate scaled to the trace size) yet drawing none at all — counts
+//     inflated for code the machine never dwelled in.
+//
+// The returned overlap is (1 - contradictedSampleMass) * (1 -
+// contradictedProfileMass): exactly 1 on clean data, falling as either
+// file accuses the other. zeroProfile counts the blocks behind the first
+// term, for per-block diagnostics.
+func MassConsistency(profileBlocks, weights []float64, samples []sampling.Sample) (overlap float64, zeroProfile int) {
+	mass := make([]float64, len(profileBlocks))
+	var sTotal float64
+	for _, s := range samples {
+		if s.Block >= 0 && int(s.Block) < len(mass) {
+			mass[s.Block]++
+			sTotal++
+		}
+	}
+	weigh := func(b int, v float64) float64 {
+		if b < len(weights) {
+			return v * weights[b]
+		}
+		return v
+	}
+	var pTotal float64
+	for b, v := range profileBlocks {
+		if v > 0 {
+			pTotal += weigh(b, v)
+		}
+	}
+	if sTotal == 0 || pTotal == 0 {
+		return 0, 0
+	}
+	var zMass, mMass float64
+	for b, v := range profileBlocks {
+		if mass[b] > 0 && v <= 0 {
+			zeroProfile++
+			zMass += mass[b] / sTotal
+		}
+		if v > 0 && mass[b] == 0 {
+			if pm := weigh(b, v) / pTotal; pm*sTotal >= minExpectedSamples {
+				mMass += pm
+			}
+		}
+	}
+	return (1 - zMass) * (1 - mMass), zeroProfile
+}
+
+// Nominal per-instruction cycle costs for BlockTimeWeights. These mirror
+// the execution model's cost structure only roughly — memory latency is
+// dynamic (hit vs cache-to-cache transfer vs memory) — but the estimate
+// only needs to bring execution counts and time-proportional sample mass
+// onto a comparable scale, not to predict latency.
+const (
+	weightMemOp  = 12.0
+	weightLockOp = 24.0
+	weightCall   = 8.0
+	weightBase   = 1.0
+)
+
+// BlockTimeWeights estimates each block's per-execution time in cycles
+// from its instruction mix, indexed by global block ID.
+func BlockTimeWeights(p *ir.Program) []float64 {
+	blocks := p.Blocks()
+	out := make([]float64, len(blocks))
+	for _, b := range blocks {
+		w := weightBase
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCompute:
+				w += float64(in.Cycles)
+			case ir.OpField, ir.OpMem:
+				w += weightMemOp
+			case ir.OpLock, ir.OpUnlock:
+				w += weightLockOp
+			case ir.OpCall:
+				w += weightCall
+			}
+		}
+		if int(b.Global) < len(out) {
+			out[b.Global] = w
+		}
+	}
+	return out
+}
+
+// cpuBalance is the normalized entropy of per-CPU sample counts over the
+// CPUs that produced at least one sample. Normalizing over *active* CPUs
+// (not the machine's CPU count) keeps a clean partial-machine run — a DSL
+// program with two threads on a four-way box — from being penalized for
+// the CPUs it never used.
+func cpuBalance(t *sampling.Trace) float64 {
+	if t.NumCPUs <= 1 {
+		return 1
+	}
+	counts := make([]float64, t.NumCPUs)
+	var total float64
+	for _, s := range t.Samples {
+		if s.CPU >= 0 && s.CPU < t.NumCPUs {
+			counts[s.CPU]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	active := 0
+	for _, c := range counts {
+		if c > 0 {
+			active++
+		}
+	}
+	if active <= 1 {
+		// All mass on one CPU of a multi-CPU trace: no balance at all.
+		return 0
+	}
+	return entropy(counts, total) / math.Log(float64(active))
+}
+
+// sliceOccupancy is the normalized entropy of per-slice sample counts
+// over the trace's full time span (empty slices within the span count as
+// zero-mass bins). Bursty loss empties slices; the entropy then falls
+// below the uniform bound.
+func sliceOccupancy(t *sampling.Trace, sliceCycles int64) float64 {
+	if sliceCycles <= 0 || len(t.Samples) == 0 {
+		return 0
+	}
+	bySlice := make(map[int64]float64)
+	minIdx, maxIdx := int64(math.MaxInt64), int64(math.MinInt64)
+	var total float64
+	for _, s := range t.Samples {
+		idx := s.ITC / sliceCycles
+		if s.ITC < 0 {
+			idx = 0 // mirror sampling.Slices: drift may push the first sample below zero
+		}
+		bySlice[idx]++
+		total++
+		if idx < minIdx {
+			minIdx = idx
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	bins := maxIdx - minIdx + 1
+	if bins <= 1 {
+		return 1
+	}
+	// Deterministic accumulation order: sort the occupied slice indices.
+	idxs := make([]int64, 0, len(bySlice))
+	for idx := range bySlice {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	counts := make([]float64, 0, len(idxs))
+	for _, idx := range idxs {
+		counts = append(counts, bySlice[idx])
+	}
+	return entropy(counts, total) / math.Log(float64(bins))
+}
+
+// retention is the surviving fraction of raw samples.
+func retention(kept, raw int) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	return clamp01(float64(kept) / float64(raw))
+}
+
+// entropy computes -Σ (c/total) ln (c/total) over the counts, in the
+// order given (callers fix the order for determinism).
+func entropy(counts []float64, total float64) float64 {
+	var h float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

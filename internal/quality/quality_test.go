@@ -1,0 +1,300 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/sampling"
+)
+
+func sample(cpu int, block ir.BlockID, itc int64) sampling.Sample {
+	return sampling.Sample{CPU: cpu, Block: block, ITC: itc}
+}
+
+// uniformTrace spreads one sample per (cpu, slice) round-robin over blocks.
+func uniformTrace(cpus, slices int, sliceCycles int64, blocks []ir.BlockID) *sampling.Trace {
+	t := &sampling.Trace{NumCPUs: cpus, IntervalCycles: sliceCycles}
+	i := 0
+	for s := 0; s < slices; s++ {
+		for c := 0; c < cpus; c++ {
+			t.Samples = append(t.Samples, sample(c, blocks[i%len(blocks)], int64(s)*sliceCycles+10))
+			i++
+		}
+	}
+	return t
+}
+
+func TestGradeBands(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Verdict
+	}{
+		{1.0, OK},
+		{SuspectBelow, OK},
+		{SuspectBelow - 1e-9, Suspect},
+		{DegradedBelow, Suspect},
+		{DegradedBelow - 1e-9, Degraded},
+		{0, Degraded},
+	}
+	for _, c := range cases {
+		if got := Grade(c.score); got != c.want {
+			t.Errorf("Grade(%v) = %v, want %v", c.score, got, c.want)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{OK: "OK", Suspect: "SUSPECT", Degraded: "DEGRADED"} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestNilAssessmentSafe(t *testing.T) {
+	var a *Assessment
+	if a.Verdict() != OK {
+		t.Error("nil assessment must grade OK (no evidence of a problem)")
+	}
+	if a.String() != "(no assessment)" {
+		t.Errorf("nil assessment renders %q", a.String())
+	}
+}
+
+func TestMassConsistencyCleanIsOne(t *testing.T) {
+	// Matching mass with no contradictions: consistency is exactly 1 no
+	// matter how differently the mass distributes.
+	profile := []float64{100, 5, 1, 0}
+	samples := []sampling.Sample{sample(0, 1, 10), sample(0, 1, 20), sample(1, 0, 10), sample(1, 2, 30)}
+	overlap, zero := MassConsistency(profile, nil, samples)
+	if overlap != 1 {
+		t.Errorf("clean overlap = %v, want exactly 1", overlap)
+	}
+	if zero != 0 {
+		t.Errorf("clean zeroProfile = %d, want 0", zero)
+	}
+}
+
+func TestMassConsistencyZeroProfileContradiction(t *testing.T) {
+	// Half the sample mass lands on a block the profile says never ran.
+	profile := []float64{10, 0}
+	samples := []sampling.Sample{sample(0, 0, 10), sample(0, 1, 20)}
+	overlap, zero := MassConsistency(profile, nil, samples)
+	if zero != 1 {
+		t.Errorf("zeroProfile = %d, want 1", zero)
+	}
+	if math.Abs(overlap-0.5) > 1e-12 {
+		t.Errorf("overlap = %v, want 0.5 (half the sample mass contradicted)", overlap)
+	}
+}
+
+func TestMassConsistencyMissingSamplesContradiction(t *testing.T) {
+	// Block 0 holds ~all weighted profile mass and the trace is large, yet
+	// block 0 drew zero samples: the profile mass is contradicted.
+	profile := []float64{1000, 1}
+	var samples []sampling.Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, sample(0, 1, int64(i)))
+	}
+	overlap, _ := MassConsistency(profile, nil, samples)
+	if overlap > 0.01 {
+		t.Errorf("overlap = %v; a sample-starved hot block must collapse consistency", overlap)
+	}
+	// The same shape with a tiny trace must NOT fire: 2 expected samples
+	// stay under the minExpectedSamples floor.
+	overlap, _ = MassConsistency(profile, nil, samples[:2])
+	if overlap != 1 {
+		t.Errorf("overlap = %v; expectations below the floor must not contradict", overlap)
+	}
+}
+
+func TestMassConsistencyWeights(t *testing.T) {
+	// Block 1 is 99x cheaper per execution than block 0; with weights its
+	// high count carries little expected mass, so its zero samples stop
+	// contradicting.
+	profile := []float64{100, 100}
+	weights := []float64{99, 1}
+	var samples []sampling.Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, sample(0, 0, int64(i)))
+	}
+	unweighted, _ := MassConsistency(profile, nil, samples)
+	weighted, _ := MassConsistency(profile, weights, samples)
+	if !(weighted > unweighted) {
+		t.Errorf("weights must excuse the cheap block: weighted %v <= unweighted %v", weighted, unweighted)
+	}
+	if weighted != 1 {
+		t.Errorf("weighted = %v, want 1 (expected samples under the floor)", weighted)
+	}
+}
+
+func TestMassConsistencyDegenerate(t *testing.T) {
+	if o, _ := MassConsistency([]float64{1, 2}, nil, nil); o != 0 {
+		t.Errorf("no samples: overlap = %v, want 0", o)
+	}
+	if o, _ := MassConsistency([]float64{0, 0}, nil, []sampling.Sample{sample(0, 0, 1)}); o != 0 {
+		t.Errorf("no profile mass: overlap = %v, want 0", o)
+	}
+	// Out-of-range blocks are ignored, not counted.
+	if o, _ := MassConsistency([]float64{5}, nil, []sampling.Sample{sample(0, 7, 1), sample(0, -1, 2)}); o != 0 {
+		t.Errorf("only out-of-range samples: overlap = %v, want 0", o)
+	}
+}
+
+func TestAssessNoTrace(t *testing.T) {
+	a := Assess(Inputs{ProfileBlocks: []float64{1, 2}, Coverage: 0.7})
+	if a.HasTrace {
+		t.Error("HasTrace = true without a trace")
+	}
+	if a.Score != 0.7 {
+		t.Errorf("no-trace score = %v, want the coverage ratio", a.Score)
+	}
+	if !strings.Contains(a.String(), "no trace") {
+		t.Errorf("no-trace rendering %q should say so", a.String())
+	}
+}
+
+func TestAssessCleanScoresHigh(t *testing.T) {
+	blocks := []ir.BlockID{0, 1, 2, 3}
+	tr := uniformTrace(4, 50, 1000, blocks)
+	a := Assess(Inputs{
+		ProfileBlocks: []float64{50, 50, 50, 50},
+		Trace:         tr,
+		RawSamples:    len(tr.Samples),
+		SliceCycles:   1000,
+		Coverage:      1,
+	})
+	if a.Verdict() != OK {
+		t.Fatalf("clean uniform inputs graded %v (score %v): %s", a.Verdict(), a.Score, a)
+	}
+	if a.Consistency != 1 || a.Retention != 1 {
+		t.Errorf("clean consistency/retention = %v/%v, want 1/1", a.Consistency, a.Retention)
+	}
+	if a.Balance < 0.99 || a.Occupancy < 0.99 {
+		t.Errorf("uniform balance/occupancy = %v/%v, want ~1", a.Balance, a.Occupancy)
+	}
+}
+
+func TestAssessDegradedComponentsDragScore(t *testing.T) {
+	blocks := []ir.BlockID{0, 1, 2, 3}
+	tr := uniformTrace(4, 50, 1000, blocks)
+	clean := Assess(Inputs{ProfileBlocks: []float64{50, 50, 50, 50}, Trace: tr, RawSamples: len(tr.Samples), SliceCycles: 1000, Coverage: 1})
+	// Same trace but half the raw samples were dropped in sanitization and
+	// the FMF covers little: both verdict-relevant components fall.
+	hurt := Assess(Inputs{ProfileBlocks: []float64{50, 50, 50, 50}, Trace: tr, RawSamples: 2 * len(tr.Samples), SliceCycles: 1000, Coverage: 0.3})
+	if !(hurt.Score < clean.Score) {
+		t.Fatalf("hurt score %v not below clean %v", hurt.Score, clean.Score)
+	}
+	if hurt.Verdict() == OK {
+		t.Fatalf("retention 0.5 + coverage 0.3 still graded OK (score %v)", hurt.Score)
+	}
+}
+
+func TestCPUBalanceActiveCPUsOnly(t *testing.T) {
+	// Two active CPUs of a 128-CPU machine, perfectly balanced: a clean
+	// partial-machine run must not be penalized for idle CPUs.
+	tr := &sampling.Trace{NumCPUs: 128}
+	for i := 0; i < 20; i++ {
+		tr.Samples = append(tr.Samples, sample(i%2, 0, int64(i)*100))
+	}
+	if b := cpuBalance(tr); b < 0.999 {
+		t.Errorf("balanced partial-machine balance = %v, want ~1", b)
+	}
+	// All mass on one CPU of a multi-CPU trace: no balance.
+	tr2 := &sampling.Trace{NumCPUs: 4, Samples: []sampling.Sample{sample(2, 0, 1), sample(2, 0, 2)}}
+	if b := cpuBalance(tr2); b != 0 {
+		t.Errorf("single-active-CPU balance = %v, want 0", b)
+	}
+	// Single-CPU machine: balance does not apply.
+	tr3 := &sampling.Trace{NumCPUs: 1, Samples: []sampling.Sample{sample(0, 0, 1)}}
+	if b := cpuBalance(tr3); b != 1 {
+		t.Errorf("single-CPU-machine balance = %v, want 1", b)
+	}
+}
+
+func TestSliceOccupancyBurstLoss(t *testing.T) {
+	blocks := []ir.BlockID{0}
+	full := uniformTrace(2, 40, 1000, blocks)
+	// Empty out the middle half of the slices (bursty loss) but keep the
+	// span: occupancy must fall.
+	var bursty []sampling.Sample
+	for _, s := range full.Samples {
+		slice := s.ITC / 1000
+		if slice >= 10 && slice < 30 {
+			continue
+		}
+		bursty = append(bursty, s)
+	}
+	burstyTrace := &sampling.Trace{NumCPUs: 2, Samples: bursty}
+	fullOcc := sliceOccupancy(full, 1000)
+	burstOcc := sliceOccupancy(burstyTrace, 1000)
+	if !(burstOcc < fullOcc) {
+		t.Errorf("bursty occupancy %v not below full %v", burstOcc, fullOcc)
+	}
+	if sliceOccupancy(full, 0) != 0 {
+		t.Error("non-positive slice size must yield occupancy 0")
+	}
+	if sliceOccupancy(&sampling.Trace{NumCPUs: 2}, 1000) != 0 {
+		t.Error("empty trace must yield occupancy 0")
+	}
+	one := &sampling.Trace{NumCPUs: 1, Samples: []sampling.Sample{sample(0, 0, 5)}}
+	if sliceOccupancy(one, 1000) != 1 {
+		t.Error("single-slice trace must yield occupancy 1")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	if r := retention(50, 100); r != 0.5 {
+		t.Errorf("retention(50,100) = %v", r)
+	}
+	if r := retention(10, 0); r != 1 {
+		t.Errorf("retention with unknown raw count = %v, want 1", r)
+	}
+	if r := retention(200, 100); r != 1 {
+		t.Errorf("retention must clamp to 1, got %v", r)
+	}
+}
+
+func TestBlockTimeWeights(t *testing.T) {
+	prog := ir.NewProgram("w")
+	st := ir.NewStruct("s", ir.I64("a"))
+	prog.AddStruct(st)
+	prog.NewProc("heavy").Compute(500).Read(st, "a", ir.Shared(0)).Done()
+	prog.NewProc("light").Compute(1).Done()
+	if err := prog.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	w := BlockTimeWeights(prog)
+	if len(w) != len(prog.Blocks()) {
+		t.Fatalf("got %d weights for %d blocks", len(w), len(prog.Blocks()))
+	}
+	var heavy, light float64
+	for _, blk := range prog.Blocks() {
+		switch blk.Proc.Name {
+		case "heavy":
+			heavy += w[blk.Global]
+		case "light":
+			light += w[blk.Global]
+		}
+	}
+	if !(heavy > 100*light) {
+		t.Errorf("compute-heavy proc weight %v should dwarf light %v", heavy, light)
+	}
+}
+
+// TestScoreDeterministic guards the byte-identical-at-any-j contract: the
+// assessment is a pure function of its inputs even when sample order and
+// map iteration would tempt nondeterminism.
+func TestScoreDeterministic(t *testing.T) {
+	blocks := []ir.BlockID{0, 1, 2, 3, 4, 5, 6, 7}
+	tr := uniformTrace(8, 100, 777, blocks)
+	in := Inputs{ProfileBlocks: []float64{9, 8, 7, 6, 5, 4, 3, 2}, Trace: tr, RawSamples: len(tr.Samples) + 3, SliceCycles: 777, Coverage: 0.83}
+	first := Assess(in).String()
+	for i := 0; i < 20; i++ {
+		if got := Assess(in).String(); got != first {
+			t.Fatalf("iteration %d: %q != %q", i, got, first)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"structlayout/internal/diag"
 	"structlayout/internal/flg"
 	"structlayout/internal/layout"
+	"structlayout/internal/quality"
 )
 
 // Report bundles a layout suggestion with its supporting evidence.
@@ -33,10 +34,24 @@ type Report struct {
 	// layout suggested without (say) concurrency evidence cannot promise
 	// the paper's false-sharing guarantees.
 	Diagnostics *diag.Log
+	// Quality is the composite measurement-quality assessment; when its
+	// graded verdict is SUSPECT the advisory is flagged even though no
+	// individual check crossed a degradation threshold.
+	Quality *quality.Assessment
 }
 
 // Degraded reports whether the advisory rests on degraded evidence.
 func (r *Report) Degraded() bool { return r.Diagnostics.Degraded() }
+
+// QualityVerdict grades the advisory's evidence: the score-based verdict,
+// escalated to Degraded when the diagnostics log recorded a fallback.
+func (r *Report) QualityVerdict() quality.Verdict {
+	v := r.Quality.Verdict()
+	if r.Degraded() && v < quality.Degraded {
+		v = quality.Degraded
+	}
+	return v
+}
 
 // String renders the full advisory text.
 func (r *Report) String() string {
@@ -45,6 +60,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&sb, "==== layout advisory for struct %s ====\n", st.Name)
 	if r.Degraded() {
 		sb.WriteString("!!!! DEGRADED: built from incomplete measurement data; see diagnostics below !!!!\n")
+	} else if r.QualityVerdict() == quality.Suspect {
+		sb.WriteString("???? SUSPECT: measurement quality below the calibrated threshold; re-collect before adopting unattended ????\n")
 	}
 	fmt.Fprintf(&sb, "fields: %d, dense size: %d bytes, line size: %d bytes\n\n",
 		len(st.Fields), st.MinBytes(), r.Suggested.LineSize)
@@ -81,6 +98,9 @@ func (r *Report) String() string {
 			st.Fields[e.F1].Name, st.Fields[e.F2].Name, e.Weight(), e.Gain, e.Loss)
 	}
 
+	if r.Quality != nil {
+		fmt.Fprintf(&sb, "\n-- measurement quality --\n%s\n", r.Quality)
+	}
 	if r.Diagnostics.Len() > 0 {
 		fmt.Fprintf(&sb, "\n-- diagnostics (data quality) --\n%s", r.Diagnostics.String())
 	}

@@ -6,9 +6,11 @@ import (
 
 	"structlayout/internal/affinity"
 	"structlayout/internal/cluster"
+	"structlayout/internal/diag"
 	"structlayout/internal/flg"
 	"structlayout/internal/ir"
 	"structlayout/internal/layout"
+	"structlayout/internal/quality"
 )
 
 func fixture(t testing.TB) (*flg.Graph, cluster.Result, *layout.Layout, *layout.Layout) {
@@ -66,6 +68,39 @@ func TestReportWithoutOriginal(t *testing.T) {
 	text := r.String()
 	if strings.Contains(text, "original layout") {
 		t.Fatal("report should omit the original section when absent")
+	}
+}
+
+func TestReportQualitySurfaced(t *testing.T) {
+	g, res, lay, orig := fixture(t)
+	mk := func(score float64) *Report {
+		return &Report{Graph: g, Clustering: res, Suggested: lay, Original: orig,
+			Quality: &quality.Assessment{Score: score, HasTrace: true}}
+	}
+
+	clean := mk(1.0).String()
+	if !strings.Contains(clean, "-- measurement quality --") {
+		t.Fatalf("assessment not surfaced:\n%s", clean)
+	}
+	if strings.Contains(clean, "SUSPECT") {
+		t.Fatalf("clean report carries a SUSPECT banner:\n%s", clean)
+	}
+
+	suspect := mk(quality.SuspectBelow - 0.01).String()
+	if !strings.Contains(suspect, "???? SUSPECT") {
+		t.Fatalf("suspect-score report missing the banner:\n%s", suspect)
+	}
+
+	// A degraded diagnostic escalates past the numeric verdict: the
+	// DEGRADED banner wins even when the score alone would grade OK.
+	r := mk(1.0)
+	r.Diagnostics = diag.NewLog()
+	r.Diagnostics.Add(diag.Degraded, "core", "trace-quality", "test escalation")
+	if v := r.QualityVerdict(); v != quality.Degraded {
+		t.Fatalf("verdict = %v, want escalation to Degraded", v)
+	}
+	if text := r.String(); !strings.Contains(text, "!!!! DEGRADED") {
+		t.Fatalf("escalated report missing the DEGRADED banner:\n%s", text)
 	}
 }
 
