@@ -28,6 +28,7 @@ import (
 	"structlayout/internal/experiments"
 	"structlayout/internal/faults"
 	"structlayout/internal/machine"
+	"structlayout/internal/memo"
 	"structlayout/internal/parallel"
 )
 
@@ -42,10 +43,17 @@ func main() {
 		short    = flag.Bool("short", false, "bench: reduced configuration for CI smoke runs")
 		benchOut = flag.String("out", "BENCH_pipeline.json", "bench: write the timing report to this file")
 		check    = flag.String("check", "", "bench: fail if wall-clock regresses >25% against this baseline report")
+		cacheDir = flag.String("cache-dir", "", "persist the measurement cache here; warm re-runs reuse identical measurements")
 	)
 	flag.Parse()
 	if *jobs > 0 {
 		parallel.SetLimit(*jobs)
+	}
+	if *cacheDir != "" {
+		if err := memo.Shared().SetDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
 	}
 	what := flag.Arg(0)
 	if what == "" {

@@ -32,6 +32,7 @@ import (
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/memo"
 	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/quality"
@@ -64,10 +65,17 @@ func main() {
 		measureRuns = flag.Int("measure", 0, "with -program: also measure each struct's automatic layout individually over this many runs")
 		jobs        = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
 		showQuality = flag.Bool("quality", false, "print the measurement-quality assessment and gate the exit code on its verdict (0 OK, 3 SUSPECT, 4 DEGRADED)")
+		cacheDir    = flag.String("cache-dir", "", "persist the measurement cache here; warm re-runs reuse identical collections and measurements")
 	)
 	flag.Parse()
 	if *jobs > 0 {
 		parallel.SetLimit(*jobs)
+	}
+	if *cacheDir != "" {
+		if err := memo.Shared().SetDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "layouttool:", err)
+			os.Exit(2)
+		}
 	}
 	spec, err := faults.ParseSpec(*injectSpec)
 	if err != nil {

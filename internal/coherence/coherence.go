@@ -390,6 +390,37 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 	setIdx := line & s.setMask
 	set := s.caches[cpu].sets[setIdx]
 
+	// Repeat-access fast path: after any access, the line sits in the MRU
+	// slot (hits rotate it there, fills append there), and nothing another
+	// CPU does can move it — removeLine deletes it (the tag check below
+	// fails), downgradeOwner rewrites state in place (read through the slot
+	// stays current). So one tag compare against the MRU slot replaces the
+	// set scan, and the LRU rotation is skipped because rotating the MRU
+	// element is the identity. Reads hit in any state; writes keep the fast
+	// path only in Modified (nothing can change) and Exclusive (the silent
+	// E→M upgrade); a Shared write needs the directory and falls through.
+	if n := len(set); n > 0 && set[n-1].line == line {
+		w := &set[n-1]
+		if !write {
+			st.Hits++
+			s.global.Hits++
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		}
+		switch w.state {
+		case Modified:
+			st.Hits++
+			s.global.Hits++
+			w.info.recordWrite(cpu, lo, hi)
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		case Exclusive:
+			w.state = Modified
+			st.Hits++
+			s.global.Hits++
+			w.info.recordWrite(cpu, lo, hi)
+			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+		}
+	}
+
 	// Look up in this CPU's cache.
 	for i := range set {
 		if set[i].line != line {

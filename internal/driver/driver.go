@@ -131,14 +131,27 @@ func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.R
 			return nil, err
 		}
 	}
-	return r.Run()
+	res, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Inject != nil {
+		// The injectors model measurement error, so they sit on the
+		// collection boundary: every collected artifact a Run hands out is
+		// already faulted, whichever path asked for it (Collect, a direct
+		// Run with sampling, or Evaluate's measurement loop — whose Measure
+		// nils Inject per run because throughput is simulated, not
+		// collected). The simulated run itself is never perturbed.
+		res.Profile = cfg.Inject.ApplyProfile(res.Profile)
+		res.Trace = cfg.Inject.ApplyTrace(res.Trace)
+	}
+	return res, nil
 }
 
 // Collect performs the tool's data-collection phase for a parsed file:
 // one sampled run under declaration-order (or provided) layouts. When the
 // config carries a fault spec, the collected profile and trace come back
-// already faulted — the injectors model measurement error, so they sit on
-// the collection boundary, not inside the simulated run.
+// already faulted — Run applies the spec on the collection boundary.
 func Collect(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.Result, error) {
 	cfg.fillDefaults()
 	if cfg.Sampling == nil {
@@ -149,15 +162,7 @@ func Collect(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*ex
 			Seed:           cfg.Seed + 17,
 		}
 	}
-	res, err := Run(f, cfg, layouts)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Inject != nil {
-		res.Profile = cfg.Inject.ApplyProfile(res.Profile)
-		res.Trace = cfg.Inject.ApplyTrace(res.Trace)
-	}
-	return res, nil
+	return Run(f, cfg, layouts)
 }
 
 // Measurement aggregates repeated measured runs of a parsed file under one

@@ -12,6 +12,7 @@ import (
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
 	"structlayout/internal/parallel"
+	"structlayout/internal/sampling"
 )
 
 func mustOriginal(t testing.TB, st *ir.StructType, lineSize int) *layout.Layout {
@@ -286,6 +287,48 @@ func TestCollectInject(t *testing.T) {
 	if len(faulted.Trace.Samples) >= len(clean.Trace.Samples) {
 		t.Fatalf("loss=0.8 did not shrink the trace: %d vs %d samples",
 			len(faulted.Trace.Samples), len(clean.Trace.Samples))
+	}
+}
+
+// TestRunInject checks that the fault spec applies on the collection
+// boundary inside Run itself, so every driver path honors -inject: a
+// direct sampled Run comes back faulted, while the measurement loop stays
+// clean (throughput is simulated, not collected, so a spec on the config
+// must not change what Measure reports).
+func TestRunInject(t *testing.T) {
+	f := parseDemo(t)
+	smp := &sampling.Config{IntervalCycles: 2500, DriftMaxCycles: 8, LossProb: 0.02, Seed: 22}
+	cfg := Config{Topo: machine.Bus4(), Seed: 5, Sampling: smp}
+	clean, err := Run(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := faults.ParseSpec("loss=0.8,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Inject = lossy
+	faulted, err := Run(f, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted.Trace.Samples) >= len(clean.Trace.Samples) {
+		t.Fatalf("direct Run ignored the fault spec: %d vs %d samples",
+			len(faulted.Trace.Samples), len(clean.Trace.Samples))
+	}
+
+	mcfg := Config{Topo: machine.Bus4(), Seed: 3}
+	base, err := Measure(f, mcfg, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg.Inject = lossy
+	under, err := Measure(f, mcfg, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mean != under.Mean {
+		t.Fatalf("fault spec leaked into the measurement loop: %v vs %v", base.Mean, under.Mean)
 	}
 }
 

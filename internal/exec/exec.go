@@ -175,6 +175,12 @@ type Runner struct {
 
 	completed int64
 	ran       bool
+
+	// slowPath disables the superblock fast path (compute merging, tight
+	// in-block loop, frameless compute blocks), forcing the reference
+	// one-step-at-a-time interpreter. Test-only: the equivalence tests run
+	// both paths and require identical Results.
+	slowPath bool
 }
 
 // NewRunner builds a runner. Layouts must cover every struct the program
@@ -335,16 +341,8 @@ func (r *Runner) Run() (*Result, error) {
 		if q.Len() > 0 {
 			limit = (*q)[0].time
 		}
-		for {
-			if err := r.step(t); err != nil {
-				return nil, err
-			}
-			if t.done || t.parked {
-				break
-			}
-			if t.time > limit {
-				break
-			}
+		if err := r.runUntil(t, limit); err != nil {
+			return nil, err
 		}
 		// Wake anything the step released before re-queueing.
 		for _, w := range r.woken {
@@ -396,6 +394,52 @@ func (r *Runner) Run() (*Result, error) {
 	return res, nil
 }
 
+// runUntil advances one thread until it yields the CPU: virtual time
+// crosses limit, the thread parks on a lock, or it finishes. It is the
+// scheduling-point boundary of the superblock fast path: straight-line
+// instruction runs inside a basic block execute in the tight inner loop
+// below — one frame lookup per run instead of one full step() dispatch
+// (stack probe + frame-kind switch) per instruction — while frame
+// management (sequence/loop/if bookkeeping) falls through to step().
+//
+// The yield condition is checked after every instruction, exactly where
+// the per-step scheduler checked it, so thread interleaving — and with it
+// the global order of coherence accesses — is bit-identical to the
+// one-step-at-a-time loop.
+func (r *Runner) runUntil(t *thread, limit int64) error {
+	for {
+		if n := len(t.stack); !r.slowPath && n > 0 && t.stack[n-1].kind == fBlock {
+			f := &t.stack[n-1]
+			dins := f.dins
+			for f.idx < len(dins) {
+				in := &dins[f.idx]
+				f.idx++
+				if err := r.execInstr(t, in); err != nil {
+					return err
+				}
+				if t.parked || t.time > limit {
+					return nil
+				}
+				if len(t.stack) != n {
+					// A call pushed a frame (appending may relocate the
+					// stack, invalidating f); resume via the outer loop.
+					break
+				}
+			}
+			if len(t.stack) == n && f.idx >= len(f.dins) {
+				t.pop()
+			}
+			continue
+		}
+		if err := r.step(t); err != nil {
+			return err
+		}
+		if t.done || t.parked || t.time > limit {
+			return nil
+		}
+	}
+}
+
 // decode pre-resolves every instruction of the program against the run's
 // arenas, regions and procedures. Called once at Run start, after all
 // DefineArena calls; errors here are the ones the interpreter used to raise
@@ -439,9 +483,32 @@ func (r *Runner) decode() error {
 			}
 			ds[i] = d
 		}
+		if r.collector == nil && !r.slowPath {
+			ds = mergeComputes(ds)
+		}
 		r.dec[b.Global] = ds
 	}
 	return nil
+}
+
+// mergeComputes coalesces consecutive OpCompute instructions into one
+// superblock-local virtual-time update. Computes touch no shared state —
+// no coherence access, no profile count (blocks are counted at entry), no
+// lock — so executing a run of them under one yield check instead of one
+// per instruction cannot reorder any cross-thread access: a thread's time
+// waypoints inside a pure-compute span are invisible to every other
+// thread. Merging is disabled for sampled runs, where the collector must
+// observe each instruction's time advance individually.
+func mergeComputes(ds []decInstr) []decInstr {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.op == ir.OpCompute && len(out) > 0 && out[len(out)-1].op == ir.OpCompute {
+			out[len(out)-1].cycles += d.cycles
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // threadQueue is a min-heap on (time, id).

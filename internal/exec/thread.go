@@ -90,8 +90,13 @@ func (r *Runner) step(t *thread) error {
 			if len(n.Block.Instrs) == 0 {
 				t.time += r.cfg.BranchCost
 				r.sample(t)
+			} else if dins := r.dec[n.Block.Global]; !r.slowPath && r.collector == nil && len(dins) == 1 && dins[0].op == ir.OpCompute {
+				// A pure-compute block (decode merged its instructions into
+				// one) needs no frame: charge its cycles at entry. Invisible
+				// to scheduling — the yield check still runs right after.
+				t.time += dins[0].cycles
 			} else {
-				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block, dins: r.dec[n.Block.Global]})
+				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block, dins: dins})
 			}
 		case *ir.ExecLoop:
 			r.prof.AddLoop(n.Loop.Global, n.Count)

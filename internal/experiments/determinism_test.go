@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"structlayout/internal/memo"
 	"structlayout/internal/parallel"
 )
 
@@ -85,6 +86,10 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	limits := []int{1, 4, runtime.GOMAXPROCS(0)}
 	outs := make([]string, len(limits))
 	for i, lim := range limits {
+		// Drop the measurement cache so every worker count simulates from
+		// scratch: with it warm, runs after the first would trivially replay
+		// cached cells instead of exercising the pool.
+		memo.Shared().Clear()
 		parallel.SetLimit(lim)
 		outs[i] = goldenReduced(t)
 	}
@@ -100,5 +105,84 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if outs[0] != string(want) {
 		t.Fatal("parallel-run output differs from committed golden")
+	}
+}
+
+// fig810 renders Figures 8 and 10 from a fresh reduced pipeline — the two
+// tables the memoization fast path must reproduce bit-for-bit.
+func fig810(t *testing.T) string {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := p.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := p.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f8.String() + f10.String()
+}
+
+// TestDeterministicColdWarmCache is the memoization contract: the figure
+// tables are byte-identical whether every measurement is simulated fresh,
+// computed into a cold disk cache, or replayed from a warm one — at any
+// worker count. Cached values round-trip through JSON, so any encoding
+// loss or key collision would show up here as a table diff.
+func TestDeterministicColdWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduced pipeline ×4 in -short mode")
+	}
+	oldLimit := parallel.Limit()
+	defer func() {
+		parallel.SetLimit(oldLimit)
+		if err := memo.Shared().SetDir(""); err != nil {
+			t.Error(err)
+		}
+		memo.Shared().Clear()
+	}()
+	dir := t.TempDir()
+
+	type variant struct {
+		name string
+		jobs int
+		dir  string
+	}
+	variants := []variant{
+		{"uncached -j 1", 1, ""},
+		{"cold-disk -j 8", 8, dir},
+		{"warm-disk -j 1", 1, dir},
+		{"warm-disk -j 8", 8, dir},
+	}
+	outs := make([]string, len(variants))
+	for i, v := range variants {
+		memo.Shared().Clear() // every variant starts with a cold memory tier
+		if err := memo.Shared().SetDir(v.dir); err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetLimit(v.jobs)
+		outs[i] = fig810(t)
+		st := memo.Shared().Stats()
+		switch {
+		case v.dir == "" || i == 1:
+			if st.Misses == 0 {
+				t.Fatalf("%s: expected fresh computation, stats %+v", v.name, st)
+			}
+		default:
+			if st.Misses != 0 || st.DiskHits == 0 {
+				t.Fatalf("%s: expected pure disk replay, stats %+v", v.name, st)
+			}
+		}
+	}
+	for i := 1; i < len(variants); i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("%s output differs from %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+				variants[i].name, variants[0].name, variants[i].name, outs[i], variants[0].name, outs[0])
+		}
 	}
 }

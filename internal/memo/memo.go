@@ -1,0 +1,254 @@
+// Package memo is a content-addressed measurement cache. A simulated
+// measurement is a pure function of its configuration — workload
+// parameters, layouts, machine topology, cache geometry, run count, seeds,
+// fault spec — so its result can be keyed by a canonical hash of that
+// configuration and reused instead of re-simulated. The experiments
+// pipeline measures the same (workload, layout, machine, seed) cell many
+// times across figure configs (Figure 8 and Figure 10 share their baseline
+// and every "auto" cell; the robustness sweep re-measures the Figure 9
+// baseline); memoization computes each distinct cell once.
+//
+// The cache has two tiers: an in-memory tier that is always on (it can
+// only return what an identical computation would produce), and an
+// optional on-disk tier (-cache-dir on cmd/experiments and cmd/layouttool)
+// that persists results across processes, making warm re-runs of the whole
+// figure pipeline nearly free.
+//
+// Correctness rests on three rules:
+//
+//   - keys are canonical: logically identical configurations hash equal
+//     regardless of map iteration order or display names, and any input
+//     that can change a result (seed, fault spec, run count) is hashed;
+//   - values round-trip losslessly: results are stored as JSON, and Go's
+//     encoding/json writes float64 in shortest-exact form, so a decoded
+//     measurement is bit-identical to the computed one — warm and cold
+//     runs render byte-identical tables;
+//   - the schema version participates in every key, so a change to what a
+//     measurement means invalidates all prior entries by construction
+//     (bump SchemaVersion; stale disk entries simply never hit again).
+package memo
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SchemaVersion invalidates every previously cached entry when the meaning
+// or encoding of cached values changes. It is hashed into every key.
+const SchemaVersion = 1
+
+// Stats counts cache outcomes. Counters only increase; subtract two
+// snapshots to attribute traffic to a pipeline stage.
+type Stats struct {
+	// MemHits served from the in-memory tier.
+	MemHits uint64
+	// DiskHits served from the on-disk tier (and promoted to memory).
+	DiskHits uint64
+	// Misses computed fresh.
+	Misses uint64
+	// Errors counts disk-tier read/write failures (the cache degrades to
+	// recomputation; an unreadable entry is never an error for the caller).
+	Errors uint64
+}
+
+// Hits returns the total served-from-cache count.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// Sub returns the per-stage delta s - prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		MemHits:  s.MemHits - prev.MemHits,
+		DiskHits: s.DiskHits - prev.DiskHits,
+		Misses:   s.Misses - prev.Misses,
+		Errors:   s.Errors - prev.Errors,
+	}
+}
+
+// Cache is a two-tier content-addressed store. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	mem      map[Key][]byte
+	inflight map[Key]*flight
+	dir      string
+	stats    Stats
+}
+
+// flight is one in-progress computation other goroutines can wait on.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New returns an empty cache with only the in-memory tier enabled.
+func New() *Cache {
+	return &Cache{
+		mem:      make(map[Key][]byte),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// shared is the process-wide cache consulted by workload.Measure/Collect.
+// Like parallel's worker pool, it is deliberately process-global: every
+// measurement in the process is a pure function of its key, so sharing one
+// cache is always sound and spares threading a handle through every suite
+// and pipeline constructor.
+var shared = New()
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// SetDir enables the on-disk tier rooted at dir, creating it if needed.
+// An empty dir disables the disk tier.
+func (c *Cache) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("memo: cache dir: %w", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+	return nil
+}
+
+// Clear drops the in-memory tier and resets counters. The disk tier, if
+// any, is untouched. Tests use it to force cold-cache behaviour.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem = make(map[Key][]byte)
+	c.stats = Stats{}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path returns the disk-tier file for a key.
+func (c *Cache) path(k Key) string {
+	h := hex.EncodeToString(k[:])
+	return filepath.Join(c.dir, h[:2], h[2:]+".json")
+}
+
+// get consults both tiers. Callers hold no locks.
+func (c *Cache) get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	if v, ok := c.mem[k]; ok {
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return v, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	v, err := os.ReadFile(c.path(k))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.stats.Errors++
+		}
+		return nil, false
+	}
+	c.stats.DiskHits++
+	c.mem[k] = v
+	return v, true
+}
+
+// put stores a value in both tiers. Disk failures degrade silently: the
+// next process recomputes.
+func (c *Cache) put(k Key, v []byte) {
+	c.mu.Lock()
+	c.mem[k] = v
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	path := c.path(k)
+	err := os.MkdirAll(filepath.Dir(path), 0o755)
+	if err == nil {
+		// Write-temp-then-rename keeps concurrent processes from ever
+		// observing a torn entry.
+		var tmp *os.File
+		tmp, err = os.CreateTemp(filepath.Dir(path), ".tmp-*")
+		if err == nil {
+			_, err = tmp.Write(v)
+			if cerr := tmp.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				err = os.Rename(tmp.Name(), path)
+			}
+			if err != nil {
+				os.Remove(tmp.Name())
+			}
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+	}
+}
+
+// Do returns the cached value for k, computing and storing it on a miss.
+// Concurrent callers with the same key share one computation (the pipeline
+// fans identical cells out over the worker pool; without single-flight a
+// cold cache would compute duplicates in parallel and win nothing).
+// Compute errors propagate to every waiter and are never cached.
+func (c *Cache) Do(k Key, compute func() ([]byte, error)) ([]byte, error) {
+	for {
+		if v, ok := c.get(k); ok {
+			return v, nil
+		}
+		c.mu.Lock()
+		// Re-check the memory tier under the lock: a racing flight may have
+		// landed between get and here.
+		if v, ok := c.mem[k]; ok {
+			c.stats.MemHits++
+			c.mu.Unlock()
+			return v, nil
+		}
+		if fl, ok := c.inflight[k]; ok {
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			// A satisfied waiter is a hit for accounting: the work was
+			// shared, not repeated.
+			c.mu.Lock()
+			c.stats.MemHits++
+			c.mu.Unlock()
+			return fl.val, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[k] = fl
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		fl.val, fl.err = compute()
+		if fl.err == nil {
+			c.put(k, fl.val)
+		}
+		c.mu.Lock()
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		close(fl.done)
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.val, nil
+	}
+}

@@ -122,35 +122,50 @@ func (m Measurement) SpeedupOver(base Measurement) float64 {
 // pure function of its index (never of scheduling), each run owns all its
 // simulator state, and throughputs are gathered by run index — so the
 // measurement is byte-identical at any worker count.
+//
+// Measurements are memoized through memo.Shared(): the result is a pure
+// function of the arguments plus the suite's parameters, so a repeated
+// configuration (the figure loops share baselines and variant cells across
+// machines) is simulated once per process — or once ever, with a disk
+// cache. Cached results round-trip through JSON losslessly, so hits are
+// bit-identical to fresh computation.
 func (s *Suite) Measure(topo *machine.Topology, ls Layouts, n int, baseSeed int64) (Measurement, error) {
 	if n <= 0 {
 		return Measurement{}, fmt.Errorf("workload: need at least one run")
 	}
-	runs, err := parallel.Map(n, func(i int) (float64, error) {
-		res, err := s.RunOnce(topo, ls, baseSeed+int64(i)*1009+1, nil)
+	return s.measureMemo(topo, ls, n, baseSeed, func() (Measurement, error) {
+		runs, err := parallel.Map(n, func(i int) (float64, error) {
+			res, err := s.RunOnce(topo, ls, baseSeed+int64(i)*1009+1, nil)
+			if err != nil {
+				return 0, err
+			}
+			return Throughput(topo, res), nil
+		})
 		if err != nil {
-			return 0, err
+			return Measurement{}, err
 		}
-		return Throughput(topo, res), nil
+		return Measurement{Mean: stats.TrimmedMean(runs), Runs: runs}, nil
 	})
-	if err != nil {
-		return Measurement{}, err
-	}
-	return Measurement{Mean: stats.TrimmedMean(runs), Runs: runs}, nil
 }
 
 // Collect performs the tool's data-collection phase (§4): one profiled,
 // PMU-sampled run under the baseline layouts on the given collection
 // machine (the paper uses a 16-way machine for its experiments).
+//
+// Collections are memoized like measurements; every hit decodes a fresh
+// Profile/Trace pair, so callers that mutate their collection (fault
+// injection, sanitizing) never alias cache-held state.
 func (s *Suite) Collect(topo *machine.Topology, ls Layouts, seed int64) (*profile.Profile, *sampling.Trace, error) {
-	res, err := s.RunOnce(topo, ls, seed, &sampling.Config{
-		IntervalCycles: CollectSampleInterval,
-		DriftMaxCycles: 8,
-		LossProb:       0.02,
-		Seed:           seed + 17,
+	return s.collectMemo(topo, ls, seed, func() (*profile.Profile, *sampling.Trace, error) {
+		res, err := s.RunOnce(topo, ls, seed, &sampling.Config{
+			IntervalCycles: CollectSampleInterval,
+			DriftMaxCycles: 8,
+			LossProb:       0.02,
+			Seed:           seed + 17,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Profile, res.Trace, nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Profile, res.Trace, nil
 }
