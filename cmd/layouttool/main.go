@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"structlayout/internal/core"
 	"structlayout/internal/driver"
@@ -38,6 +39,7 @@ import (
 	"structlayout/internal/quality"
 	"structlayout/internal/report"
 	"structlayout/internal/sampling"
+	"structlayout/internal/staticshare"
 	"structlayout/internal/transform"
 	"structlayout/internal/workload"
 )
@@ -66,6 +68,12 @@ func main() {
 		jobs        = flag.Int("j", 0, "max parallel measured runs (default GOMAXPROCS)")
 		showQuality = flag.Bool("quality", false, "print the measurement-quality assessment and gate the exit code on its verdict (0 OK, 3 SUSPECT, 4 DEGRADED)")
 		cacheDir    = flag.String("cache-dir", "", "persist the measurement cache here; warm re-runs reuse identical collections and measurements")
+		lintMode    = flag.Bool("lint", false, "run the static structure-layout linter (no measurement); exit 0 clean, 3 findings")
+		lintDir     = flag.String("lint-dir", "", "lint every *.slp program under this directory, recursively (implies -lint)")
+		lintJSON    = flag.String("lint-json", "", "with -lint: also write the findings as JSON to this file (\"-\" for stdout)")
+		cacheGC     = flag.Bool("cache-gc", false, "age out disk-tier cache entries (requires -cache-dir), print the pass summary, and exit")
+		cacheGCAge  = flag.Duration("cache-gc-age", 720*time.Hour, "with -cache-gc: remove entries not touched within this duration (0 disables the age criterion)")
+		cacheGCSize = flag.Int64("cache-gc-bytes", 0, "with -cache-gc: evict oldest entries until the disk tier fits this byte budget (0 = unlimited)")
 	)
 	flag.Parse()
 	if *jobs > 0 {
@@ -76,6 +84,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "layouttool:", err)
 			os.Exit(2)
 		}
+	}
+	if *cacheGC {
+		os.Exit(runCacheGC(*cacheDir, *cacheGCAge, *cacheGCSize))
+	}
+	if *lintMode || *lintDir != "" {
+		os.Exit(runLint(*programIn, *lintDir, *lintJSON, *collectOn, *seed, *scripts))
 	}
 	spec, err := faults.ParseSpec(*injectSpec)
 	if err != nil {
@@ -114,6 +128,146 @@ func qualityGate(analysis *core.Analysis) int {
 	}
 }
 
+// runCacheGC ages the disk-tier measurement cache and exits: 0 on a clean
+// pass, 2 on usage or filesystem errors.
+func runCacheGC(cacheDir string, maxAge time.Duration, maxBytes int64) int {
+	if cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "layouttool: -cache-gc requires -cache-dir")
+		return 2
+	}
+	res, err := memo.Shared().GC(time.Now(), maxAge, maxBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layouttool:", err)
+		return 2
+	}
+	fmt.Printf("cache-gc %s: %s\n", cacheDir, res)
+	return 0
+}
+
+// runLint runs the static structure-layout linter — no collection, no
+// measurement — over a DSL program, a directory of them, or the built-in
+// workload, and maps the outcome to an exit code the same way -quality
+// does: 0 clean, 3 findings, 1 analysis error.
+func runLint(programIn, lintDir, lintJSON, collectOn string, seed, scripts int64) int {
+	var findings []staticshare.Finding
+	var err error
+	switch {
+	case lintDir != "":
+		findings, err = lintTree(lintDir)
+	case programIn != "":
+		findings, err = lintProgramFile(programIn)
+	default:
+		findings, err = lintBuiltin(collectOn, seed, scripts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layouttool:", err)
+		return 1
+	}
+	staticshare.Rank(findings)
+	if len(findings) == 0 {
+		fmt.Println("lint: no findings")
+	} else {
+		fmt.Printf("lint: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Printf("  %-8s %-28s %s\n", f.Severity, f.Code, f.Message)
+		}
+	}
+	if lintJSON != "" {
+		raw, jerr := staticshare.MarshalFindings(findings)
+		if jerr == nil {
+			if lintJSON == "-" {
+				_, jerr = os.Stdout.Write(append(raw, '\n'))
+			} else {
+				jerr = os.WriteFile(lintJSON, append(raw, '\n'), 0o644)
+			}
+		}
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "layouttool:", jerr)
+			return 1
+		}
+	}
+	if len(findings) > 0 {
+		return 3
+	}
+	return 0
+}
+
+// lintProgramFile lints one parsed DSL program against its declaration-
+// order layouts.
+func lintProgramFile(path string) ([]staticshare.Finding, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := irtext.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	findings, _, err := staticshare.LintFile(file, 128)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return findings, nil
+}
+
+// lintTree lints every *.slp file under root, aggregating the findings
+// with the file path prefixed to each message.
+func lintTree(root string) ([]staticshare.Finding, error) {
+	var all []staticshare.Finding
+	linted := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".slp" {
+			return nil
+		}
+		findings, ferr := lintProgramFile(path)
+		if ferr != nil {
+			return ferr
+		}
+		linted++
+		for _, f := range findings {
+			f.Message = path + ": " + f.Message
+			all = append(all, f)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if linted == 0 {
+		return nil, fmt.Errorf("lint: no *.slp programs under %s", root)
+	}
+	return all, nil
+}
+
+// lintBuiltin lints the built-in SDET workload against its hand-tuned
+// baseline layouts, under the same thread/arena assignments the
+// measurement harness uses.
+func lintBuiltin(collectOn string, seed, scripts int64) ([]staticshare.Finding, error) {
+	topo, err := machine.ByName(collectOn)
+	if err != nil {
+		return nil, err
+	}
+	params := workload.DefaultParams()
+	params.ScriptsPerThread = scripts
+	suite, err := workload.NewSuite(params)
+	if err != nil {
+		return nil, err
+	}
+	res, err := staticshare.Analyze(suite.Prog, *suite.StaticConfig(topo, seed))
+	if err != nil {
+		return nil, err
+	}
+	lineSize := int(params.Cache.LineSize)
+	layouts := make(map[string]*layout.Layout, len(workload.Labels()))
+	for _, label := range workload.Labels() {
+		layouts[suite.Struct(label).Type.Name] = suite.Struct(label).Baseline(lineSize)
+	}
+	return res.Lint(layouts), nil
+}
+
 // runRank prints the whole-program struct ranking (the §5.1 key-structure
 // identification step) for the built-in workload or a DSL program.
 func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, spec *faults.Spec, strict bool) (*core.Analysis, error) {
@@ -135,12 +289,14 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 		if err != nil {
 			return nil, err
 		}
+		sc := staticshare.FileConfig(file)
 		analysis, err = core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
 			LineSize:    128,
 			SliceCycles: res.Cycles/64 + 1,
 			Strict:      strict,
 			FMF:         spec.ApplyFMF(fieldmap.Build(file.Prog), file.Prog),
 			FLG:         flg.Options{K1: k1, K2: k2},
+			Static:      &sc,
 		})
 		if err != nil {
 			return nil, err
@@ -162,6 +318,7 @@ func runRank(programIn, collectOn string, seed, scripts int64, k1, k2 float64, s
 			Strict:      strict,
 			FMF:         spec.ApplyFMF(fieldmap.Build(suite.Prog), suite.Prog),
 			FLG:         flg.Options{K1: k1, K2: k2, AliasOracle: workload.PrivateAliasOracle(suite.Prog)},
+			Static:      suite.StaticConfig(topo, seed),
 		})
 		if err != nil {
 			return nil, err
@@ -207,6 +364,7 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		return nil, err
 	}
 	fmt.Printf("collected %d samples over %d cycles\n", len(res.Trace.Samples), res.Cycles)
+	sc := staticshare.FileConfig(file)
 	analysis, err := core.NewAnalysis(file.Prog, res.Profile, res.Trace, core.Options{
 		LineSize:     cfg.LineSize(),
 		SliceCycles:  res.Cycles/64 + 1, // ~64 slices over the run
@@ -214,6 +372,7 @@ func runProgramFile(path, structName, collectOn, mode string, seed int64, k1, k2
 		Strict:       strict,
 		FMF:          spec.ApplyFMF(fieldmap.Build(file.Prog), file.Prog),
 		FLG:          flg.Options{K1: k1, K2: k2},
+		Static:       &sc,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +501,7 @@ func run(structLabel, collectOn, mode string, seed, scripts int64, k1, k2 float6
 		Strict:       strict,
 		FMF:          spec.ApplyFMF(fieldmap.Build(suite.Prog), suite.Prog),
 		FLG:          flg.Options{K1: k1, K2: k2},
+		Static:       suite.StaticConfig(topo, seed),
 	}
 	if !noAlias {
 		opts.FLG.AliasOracle = workload.PrivateAliasOracle(suite.Prog)

@@ -31,6 +31,7 @@ import (
 	"structlayout/internal/quality"
 	"structlayout/internal/report"
 	"structlayout/internal/sampling"
+	"structlayout/internal/staticshare"
 )
 
 // Options configures the tool.
@@ -59,6 +60,13 @@ type Options struct {
 	// would derive from the program — the paper's pipeline reads the FMF
 	// from disk, so it can be stale or truncated relative to the program.
 	FMF *fieldmap.File
+	// Static, when non-nil, enables the zero-profile static sharing
+	// analysis (internal/staticshare): its MHP relation cross-validates
+	// the sampled concurrency map (feeding the quality score), and its
+	// classification becomes a CycleLoss prior whenever the dynamic
+	// evidence is missing or the collection grades DEGRADED — so even a
+	// trace-less run separates statically-certain write-shared pairs.
+	Static *staticshare.Config
 	// Strict makes measurement-quality problems fatal: any input the
 	// graceful mode would sanitize away or degrade around becomes an
 	// error. Use it when a human should re-collect rather than trust a
@@ -86,7 +94,10 @@ type Analysis struct {
 	Concurrency *concurrency.Map
 	FMF         *fieldmap.File
 	Locks       *locks.Info
-	Opts        Options
+	// Static is the static sharing analysis result, nil when not enabled
+	// or when it degraded (see the static-analysis-failed diagnostic).
+	Static *staticshare.Result
+	Opts   Options
 	// Diag accumulates everything the input sanity checks and the
 	// downstream graph builders noticed about data quality.
 	Diag *diag.Log
@@ -217,6 +228,21 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 	} else {
 		log.Add(diag.Info, "core", "no-trace", "no sample trace provided; locality-only analysis by design")
 	}
+	if opts.Static != nil {
+		sres, serr := staticshare.Analyze(prog, *opts.Static)
+		if serr != nil {
+			// Same contract as the lock-analysis fallback: a program the
+			// static pass cannot walk costs the prior and the cross-check,
+			// not the whole advisory.
+			if opts.Strict {
+				return nil, fmt.Errorf("core: static sharing analysis failed (strict mode): %w", serr)
+			}
+			log.Add(diag.Degraded, "core", "static-analysis-failed",
+				"static sharing analysis failed (%v); proceeding without the MHP cross-check or the CycleLoss prior", serr)
+		} else {
+			a.Static = sres
+		}
+	}
 	qin := quality.Inputs{
 		ProfileBlocks: pf.Blocks,
 		BlockWeights:  quality.BlockTimeWeights(prog),
@@ -226,6 +252,18 @@ func NewAnalysis(prog *ir.Program, pf *profile.Profile, trace *sampling.Trace, o
 	}
 	if trace != nil {
 		qin.RawSamples = len(trace.Samples)
+	}
+	if a.Static != nil && a.Concurrency != nil {
+		// Cross-validate the sampled CC against the static MHP relation:
+		// mass on provably-exclusive block pairs is measurement error and
+		// feeds the quality score as a consistency signal.
+		chk := a.Static.CheckCC(a.Concurrency)
+		qin.HasStaticCheck = true
+		qin.StaticAgreement = chk.Agreement
+		if chk.ContradictedMass > 0 {
+			log.AddN(diag.Warning, "core", "cc-mhp-contradiction", chk.ContradictedPairs,
+				"sampled CC mass (%.4g total) sits on block pairs the static MHP relation proves exclusive; the trace misattributes concurrency", chk.ContradictedMass)
+		}
 	}
 	a.Quality = quality.Assess(qin)
 	// Downstream graph construction reports into the same log.
@@ -307,17 +345,36 @@ type Suggestion struct {
 
 // BuildFLG constructs the struct's Field Layout Graph from the analysis.
 func (a *Analysis) BuildFLG(structName string) (*flg.Graph, error) {
+	g, _, err := a.buildFLG(structName)
+	return g, err
+}
+
+// buildFLG builds the graph and, when the dynamic CycleLoss evidence is
+// missing or the collection grades DEGRADED, blends in the static sharing
+// prior — the zero-profile stand-in that keeps statically-certain
+// write-shared pairs off a common cache line. The prior result is non-nil
+// exactly when the prior changed the graph.
+func (a *Analysis) buildFLG(structName string) (*flg.Graph, *staticshare.PriorResult, error) {
 	st := a.Prog.Struct(structName)
 	if st == nil {
-		return nil, fmt.Errorf("core: unknown struct %q", structName)
+		return nil, nil, fmt.Errorf("core: unknown struct %q", structName)
 	}
 	ag := affinity.Build(a.Prog, a.Profile, st, a.Opts.Affinity)
-	return flg.Build(ag, a.Concurrency, a.FMF, a.Opts.FLG), nil
+	g := flg.Build(ag, a.Concurrency, a.FMF, a.Opts.FLG)
+	if a.Static != nil && (a.Concurrency == nil || a.QualityVerdict() == quality.Degraded) {
+		pr := a.Static.ApplyPrior(g, staticshare.PriorOptions{})
+		if pr.Certain > 0 || pr.Possible > 0 {
+			a.Diag.Add(diag.Info, "core", "static-prior",
+				"dynamic concurrency evidence missing or degraded; static sharing prior blended into the FLG (certain write-shared pairs forced onto separate lines)")
+			return g, &pr, nil
+		}
+	}
+	return g, nil, nil
 }
 
 // Suggest runs the automatic pipeline for one struct.
 func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggestion, error) {
-	g, err := a.BuildFLG(structName)
+	g, prior, err := a.buildFLG(structName)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +389,13 @@ func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggest
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
+	var static *staticshare.StructSummary
+	if a.Static != nil {
+		static = a.Static.Summary(structName)
+		if static != nil {
+			static.Prior = prior
+		}
+	}
 	return &Suggestion{
 		Struct:       g.Struct,
 		Graph:        g,
@@ -345,8 +409,23 @@ func (a *Analysis) Suggest(structName string, original *layout.Layout) (*Suggest
 			TopEdges:    10,
 			Diagnostics: a.Diag,
 			Quality:     a.Quality,
+			Static:      static,
 		},
 	}, nil
+}
+
+// Lint runs the static linter against the analysis: the classification
+// checked against the given layouts plus the CC-versus-MHP cross-check of
+// the sampled concurrency map. Returns nil when the static analysis is
+// not enabled (or degraded).
+func (a *Analysis) Lint(layouts map[string]*layout.Layout) []staticshare.Finding {
+	if a.Static == nil {
+		return nil
+	}
+	fs := a.Static.Lint(layouts)
+	fs = append(fs, a.Static.LintCC(a.Concurrency)...)
+	staticshare.Rank(fs)
+	return fs
 }
 
 // Best runs the incremental mode of §5.2: important edges only, cluster the

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"structlayout/internal/diag"
+	"structlayout/internal/layout"
+	"structlayout/internal/machine"
+	"structlayout/internal/staticshare"
+	"structlayout/internal/workload"
+)
+
+// scenarioStatic is the static configuration matching the scenario
+// harness: four threads entering main0, one 64-instance arena of S.
+func scenarioStatic() *staticshare.Config {
+	cfg := &staticshare.Config{Arenas: map[string]int{"S": 64}}
+	for cpu := 0; cpu < 4; cpu++ {
+		cfg.Threads = append(cfg.Threads, staticshare.Thread{CPU: cpu, Proc: "main0", Iters: 3})
+	}
+	return cfg
+}
+
+// TestStaticInvarianceOnCleanTrace is the satellite invariance guarantee:
+// enabling the static analysis on a clean collection must not move the
+// layouts or the quality score — the prior only blends in when the
+// dynamic evidence is missing or degraded.
+func TestStaticInvarianceOnCleanTrace(t *testing.T) {
+	p, s := scenario(t)
+	pf, trace := collect(t, p, s)
+	opts := Options{LineSize: 128, SliceCycles: 2000}
+	without, err := NewAnalysis(p, pf, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Static = scenarioStatic()
+	with, err := NewAnalysis(p, pf, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Static == nil {
+		t.Fatalf("static analysis did not run; diagnostics:\n%s", with.Diag)
+	}
+	if with.Quality.Score != without.Quality.Score {
+		t.Fatalf("clean-trace quality moved: %v -> %v", without.Quality.Score, with.Quality.Score)
+	}
+	if !with.Quality.HasStaticCheck || with.Quality.StaticAgreement != 1 {
+		t.Fatalf("clean trace should cross-check with full agreement, got %v (has=%v)",
+			with.Quality.StaticAgreement, with.Quality.HasStaticCheck)
+	}
+	sw, err := without.Suggest("S", origLayout(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := with.Suggest("S", origLayout(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Auto.Dump() != ss.Auto.Dump() {
+		t.Fatalf("clean-trace layout moved with the static prior enabled:\n--- without ---\n%s--- with ---\n%s",
+			sw.Auto.Dump(), ss.Auto.Dump())
+	}
+	if hasDiag(with, diag.Info, "static-prior") {
+		t.Fatal("prior was blended into a clean-trace analysis")
+	}
+}
+
+// TestStaticPriorSeparatesWriteSharedOnEmptyTrace is the acceptance
+// criterion: with no trace at all, the built-in workload's struct A still
+// gets its statically-certain write-shared pairs onto distinct cache
+// lines, because the static prior floors their CycleLoss above any gain.
+func TestStaticPriorSeparatesWriteSharedOnEmptyTrace(t *testing.T) {
+	params := workload.DefaultParams()
+	params.ScriptsPerThread = 4
+	suite, err := workload.NewSuite(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := machine.Bus4()
+	lineSize := int(params.Cache.LineSize)
+	pf, _, err := suite.Collect(topo, suite.BaselineLayouts(lineSize), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalysis(suite.Prog, pf, nil, Options{
+		LineSize:    lineSize,
+		SliceCycles: workload.CollectSliceCycles,
+		Static:      suite.StaticConfig(topo, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Concurrency != nil {
+		t.Fatal("concurrency map appeared without a trace")
+	}
+	structName := suite.Struct("A").Type.Name
+	sugg, err := a.Suggest(structName, suite.Struct("A").Baseline(lineSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDiag(a, diag.Info, "static-prior") {
+		t.Fatalf("prior was not blended; diagnostics:\n%s", a.Diag)
+	}
+	if sugg.Report.Static == nil || sugg.Report.Static.Prior == nil {
+		t.Fatal("report should carry the static summary with its prior result")
+	}
+	pairs := a.Static.Pairs[structName]
+	if len(pairs) == 0 {
+		t.Fatal("struct A should have classified pairs")
+	}
+	certain := 0
+	for key, pi := range pairs {
+		if pi.Class != staticshare.WriteShared || !pi.Certain {
+			continue
+		}
+		certain++
+		if sugg.Auto.SameLine(key[0], key[1]) {
+			st := sugg.Struct
+			t.Errorf("certain write-shared pair %s/%s co-located on line %d",
+				st.Fields[key[0]].Name, st.Fields[key[1]].Name, sugg.Auto.LineOf(key[0]))
+		}
+	}
+	if certain == 0 {
+		t.Fatal("struct A should have statically-certain write-shared pairs")
+	}
+}
+
+// TestStaticAnalysisFailureDegrades: an unusable static configuration is
+// a diagnosed fallback in graceful mode and fatal in strict mode, the
+// same contract as the lock and trace fallbacks.
+func TestStaticAnalysisFailureDegrades(t *testing.T) {
+	p, s := scenario(t)
+	pf, trace := collect(t, p, s)
+	bad := scenarioStatic()
+	bad.Threads[0].Proc = "no_such_proc"
+	a, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 2000, Static: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Static != nil {
+		t.Fatal("failed static analysis should leave Static nil")
+	}
+	if !hasDiag(a, diag.Degraded, "static-analysis-failed") {
+		t.Fatalf("missing static-analysis-failed diagnostic:\n%s", a.Diag)
+	}
+	if _, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 2000, Static: bad, Strict: true}); err == nil {
+		t.Fatal("strict mode should make a failed static analysis fatal")
+	}
+	_ = s
+}
+
+// TestAnalysisLint: the linter surfaces the scenario's seeded hazard (w
+// written by every thread on the shared instance, co-located with the
+// walk fields in declaration order).
+func TestAnalysisLint(t *testing.T) {
+	p, s := scenario(t)
+	pf, trace := collect(t, p, s)
+	a, err := NewAnalysis(p, pf, trace, Options{LineSize: 128, SliceCycles: 2000, Static: scenarioStatic()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := a.Lint(map[string]*layout.Layout{"S": origLayout(t, s)})
+	found := false
+	for _, f := range findings {
+		if f.Code == staticshare.CodeFalseSharing && f.Struct == "S" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lint should flag the co-located write-shared field w; got %+v", findings)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/memo"
 	"structlayout/internal/parallel"
 	"structlayout/internal/sampling"
 )
@@ -396,5 +397,62 @@ func TestEvaluateMultiStruct(t *testing.T) {
 	}
 	if ev.Structs[0].Mean <= 0 {
 		t.Fatalf("non-positive variant mean: %+v", ev.Structs[0])
+	}
+}
+
+// TestMeasureMemoized: a repeated Measure call with an identical
+// configuration is served from the shared cache (no recomputation), and a
+// different layout or seed misses.
+func TestMeasureMemoized(t *testing.T) {
+	f := parseDemo(t)
+	cfg := Config{Topo: machine.Bus4(), Seed: 41}
+	memo.Shared().Clear()
+	before := memo.Shared().Stats()
+	m1, err := Measure(f, cfg, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Measure(f, cfg, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := memo.Shared().Stats().Sub(before)
+	if d.Hits() == 0 {
+		t.Fatalf("second identical Measure did not hit the cache: %+v", d)
+	}
+	if m1.Mean != m2.Mean || len(m1.Runs) != len(m2.Runs) {
+		t.Fatalf("cached measurement differs: %v vs %v", m1, m2)
+	}
+	// A different seed must not be served from the same entry.
+	cfg2 := cfg
+	cfg2.Seed = 42
+	m3, err := Measure(f, cfg2, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Mean == m1.Mean {
+		t.Log("different seed produced an equal mean (possible but unlikely); key separation is asserted below")
+	}
+	kcfg, kcfg2 := cfg, cfg2
+	kcfg.fillDefaults()
+	kcfg2.fillDefaults()
+	k1, ok1 := measureKey(f, kcfg, nil, 3)
+	k2, ok2 := measureKey(f, kcfg2, nil, 3)
+	if !ok1 || !ok2 || k1 == k2 {
+		t.Fatal("seed change did not change the measurement key")
+	}
+	// A layout change must change the key too.
+	st := f.Prog.Struct("conn")
+	alt, err := layout.PackClusters(st, "alt", [][]int{{4, 3, 2, 1, 0}}, 128, layout.PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, ok3 := measureKey(f, kcfg, map[string]*layout.Layout{"conn": alt}, 3)
+	if !ok3 || k3 == k1 {
+		t.Fatal("layout change did not change the measurement key")
+	}
+	// Unkeyable configurations degrade to direct computation.
+	if _, ok := measureKey(f, Config{}, nil, 3); ok {
+		t.Fatal("nil topology should not produce a key")
 	}
 }

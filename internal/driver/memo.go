@@ -1,0 +1,111 @@
+package driver
+
+import (
+	"encoding/json"
+	"sort"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/irtext"
+	"structlayout/internal/layout"
+	"structlayout/internal/memo"
+)
+
+// Measure results for DSL programs are pure functions of (program, run
+// harness, topology, cache geometry, seed, run count, layouts) — Measure
+// nils the sampling config and fault spec per run by contract — so they
+// memoize through the process-wide memo.Shared() cache exactly like the
+// built-in workload's measurements. What unblocked this is ir.Canonical:
+// an arbitrary parsed program now has a deterministic, semantically
+// complete serialization to hash, where the built-in suite could hash its
+// few scalar parameters instead.
+
+// measureKey keys one Measure call. ok is false when some input resists
+// canonical hashing (nil topology, un-layoutable struct); callers then
+// skip the cache and compute directly.
+func measureKey(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (memo.Key, bool) {
+	if cfg.Topo == nil || f.Prog == nil {
+		return memo.Key{}, false
+	}
+	h := memo.NewHasher()
+	h.Str("kind", "driver.measure")
+	h.Str("prog", ir.Canonical(f.Prog))
+	names := make([]string, 0, len(f.Arenas))
+	for name := range f.Arenas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h.Int("arenas.n", int64(len(names)))
+	for _, name := range names {
+		h.Str("arena", name)
+		h.Int("arena.count", int64(f.Arenas[name]))
+	}
+	h.Int("threads.n", int64(len(f.Threads)))
+	for _, td := range f.Threads {
+		h.Int("t.cpu", int64(td.CPU))
+		h.Str("t.proc", td.Proc)
+		params := make([]int64, len(td.Params))
+		for i, p := range td.Params {
+			params[i] = int64(p)
+		}
+		h.Ints("t.params", params)
+		h.Int("t.iters", td.Iters)
+	}
+	h.Topology("topo", cfg.Topo)
+	h.CacheConfig("cache", cfg.Cache)
+	h.Int("seed", cfg.Seed)
+	h.Int("runs", int64(n))
+	// Hash the effective layout of every struct, resolving fallbacks the
+	// way Run does (declaration order when no layout is supplied). Structs
+	// the program never touches hash their defaults too — a superset of
+	// what influences the result is still canonical.
+	lineSize := int(cfg.Cache.LineSize)
+	eff := make(map[string]*layout.Layout, len(f.Prog.Structs))
+	for _, st := range f.Prog.Structs {
+		lay := layouts[st.Name]
+		if lay == nil {
+			var err error
+			lay, err = layout.Original(st, lineSize)
+			if err != nil {
+				return memo.Key{}, false
+			}
+		}
+		eff[st.Name] = lay
+	}
+	h.Layouts("layouts", eff)
+	// Measure is clean by contract: fault injection applies to collected
+	// artifacts, never to throughput runs. Record that in the key.
+	h.FaultSpec("inject", nil)
+	return h.Sum(), true
+}
+
+// measurementValue is the cached JSON form of a Measurement.
+type measurementValue struct {
+	Mean float64   `json:"mean"`
+	Runs []float64 `json:"runs"`
+}
+
+// measureMemo wraps a measurement computation in the shared cache,
+// degrading to direct computation when the key cannot be formed or a
+// cached entry is corrupt.
+func measureMemo(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int,
+	compute func() (Measurement, error)) (Measurement, error) {
+	k, ok := measureKey(f, cfg, layouts, n)
+	if !ok {
+		return compute()
+	}
+	raw, err := memo.Shared().Do(k, func() ([]byte, error) {
+		m, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(measurementValue{Mean: m.Mean, Runs: m.Runs})
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	var v measurementValue
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return compute()
+	}
+	return Measurement{Mean: v.Mean, Runs: v.Runs}, nil
+}

@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func canonProg(branchProb float64, loopCount int64) *Program {
+	p := NewProgram("canon")
+	s := NewStruct("S", I64("a"), I64("b"))
+	p.AddStruct(s)
+	callee := p.NewProc("callee")
+	callee.Write(s, "b", Shared(0))
+	callee.Done()
+	main := p.NewProc("main")
+	main.Loop(loopCount, func(b *Builder) {
+		b.Read(s, "a", LoopVar())
+		b.IfElse(branchProb, func(b *Builder) {
+			b.Lock(s, "a", Shared(0))
+			b.Unlock(s, "a", Shared(0))
+		}, func(b *Builder) {
+			b.Compute(10)
+		})
+		b.Call("callee")
+	})
+	main.Done()
+	return p.MustFinalize()
+}
+
+func TestCanonicalDeterministic(t *testing.T) {
+	a := Canonical(canonProg(0.5, 10))
+	b := Canonical(canonProg(0.5, 10))
+	if a != b {
+		t.Fatal("two identical builds serialize differently")
+	}
+	if a == "" {
+		t.Fatal("empty serialization")
+	}
+	for _, want := range []string{"canon", "S", "a:8", "callee", "loop", "lock"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("serialization missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesSemantics(t *testing.T) {
+	base := Canonical(canonProg(0.5, 10))
+	if Canonical(canonProg(0.25, 10)) == base {
+		t.Error("branch probability change not reflected")
+	}
+	if Canonical(canonProg(0.5, 20)) == base {
+		t.Error("loop count change not reflected")
+	}
+	// A field rename changes the struct section.
+	p := NewProgram("canon")
+	s := NewStruct("S", I64("a"), I64("renamed"))
+	p.AddStruct(s)
+	pr := p.NewProc("main")
+	pr.Read(s, "a", Shared(0))
+	pr.Done()
+	if Canonical(p.MustFinalize()) == base {
+		t.Error("structural change not reflected")
+	}
+}
+
+func TestCanonicalNilSafe(t *testing.T) {
+	if Canonical(nil) != "" {
+		t.Error("nil program should serialize to the empty string")
+	}
+}

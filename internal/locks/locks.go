@@ -76,7 +76,9 @@ func (in *Info) MutualExclusion() func(b1 ir.BlockID, s1 int, b2 ir.BlockID, s2 
 			return false
 		}
 		for _, k1 := range h1 {
-			if !k1.SharedInstance() {
+			// Keys whose struct name was lost to CFG damage could collapse
+			// distinct locks into one; they never ground exclusion.
+			if !k1.SharedInstance() || k1.Struct == "" {
 				continue
 			}
 			for _, k2 := range h2 {
@@ -93,7 +95,22 @@ func (in *Info) MutualExclusion() func(b1 ir.BlockID, s1 int, b2 ir.BlockID, s2 
 // in; they (and procedures with no call sites) are analyzed with an empty
 // entry lock set. Procedures reached only through calls inherit the
 // intersection of their call sites' held sets.
-func Analyze(p *ir.Program, entries []string) (*Info, error) {
+//
+// Damaged or partial programs (nil tree nodes, instructions without a
+// struct, calls to undefined procedures, cyclic call graphs) never panic:
+// the analysis either tolerates the damage, treating the affected path as
+// unanalyzable, or returns an error the caller can degrade on — the
+// pipeline's contract is to fall back to a no-exclusion oracle with a
+// lock-analysis-failed diagnostic rather than abort the run.
+func Analyze(p *ir.Program, entries []string) (info *Info, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			info, err = nil, fmt.Errorf("locks: analysis failed on damaged program: %v", r)
+		}
+	}()
+	if p == nil {
+		return nil, fmt.Errorf("locks: nil program")
+	}
 	isEntry := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		if p.Proc(e) == nil {
@@ -101,7 +118,7 @@ func Analyze(p *ir.Program, entries []string) (*Info, error) {
 		}
 		isEntry[e] = true
 	}
-	info := &Info{
+	info = &Info{
 		heldAt:   make(map[instrRef][]Key),
 		balanced: make(map[string]bool),
 	}
@@ -112,6 +129,9 @@ func Analyze(p *ir.Program, entries []string) (*Info, error) {
 		return nil, err
 	}
 	for _, pr := range order {
+		if pr == nil {
+			continue
+		}
 		entrySet := lockSet{}
 		if !isEntry[pr.Name] {
 			if ctxs, ok := a.callCtx[pr.Name]; ok && len(ctxs) > 0 {
@@ -206,7 +226,16 @@ func (a *analyzer) walk(nodes []ir.ExecNode, held lockSet) (lockSet, bool) {
 	ok := true
 	for _, n := range nodes {
 		switch n := n.(type) {
+		case nil:
+			// Damaged tree: the path past this node is unanalyzable.
+			ok = false
+			held = lockSet{}
 		case *ir.ExecBlock:
+			if n.Block == nil {
+				ok = false
+				held = lockSet{}
+				continue
+			}
 			held = a.walkBlock(n.Block, held)
 		case *ir.ExecLoop:
 			// One symbolic iteration; require balance, otherwise drop to ∅
@@ -237,12 +266,12 @@ func (a *analyzer) walkBlock(b *ir.BasicBlock, held lockSet) lockSet {
 		case ir.OpLock:
 			// The acquire itself is not protected by the lock it takes.
 			a.record(b.Global, seq, held)
-			held = held.add(Key{Struct: in.Struct.Name, Field: in.Field, Inst: in.Inst})
+			held = held.add(Key{Struct: lockStructName(in), Field: in.Field, Inst: in.Inst})
 			seq++
 		case ir.OpUnlock:
 			// The release write still happens under the lock.
 			a.record(b.Global, seq, held)
-			held = held.remove(Key{Struct: in.Struct.Name, Field: in.Field, Inst: in.Inst})
+			held = held.remove(Key{Struct: lockStructName(in), Field: in.Field, Inst: in.Inst})
 			seq++
 		case ir.OpField:
 			a.record(b.Global, seq, held)
@@ -252,6 +281,17 @@ func (a *analyzer) walkBlock(b *ir.BasicBlock, held lockSet) lockSet {
 		}
 	}
 	return held
+}
+
+// lockStructName tolerates instructions whose struct pointer was damaged:
+// the key degrades to an empty struct name instead of panicking. Such keys
+// never match a SharedInstance key of a real struct from a different field,
+// so exclusion facts stay sound.
+func lockStructName(in ir.Instr) string {
+	if in.Struct == nil {
+		return ""
+	}
+	return in.Struct.Name
 }
 
 func (a *analyzer) record(b ir.BlockID, seq int, held lockSet) {
@@ -291,10 +331,18 @@ func topoOrder(p *ir.Program) ([]*ir.Procedure, error) {
 	}
 	sort.Strings(ready)
 	var order []*ir.Procedure
+	resolved := 0
 	for len(ready) > 0 {
 		name := ready[0]
 		ready = ready[1:]
-		order = append(order, p.Proc(name))
+		// Calls to undefined procedures (possible on damaged or partial
+		// programs — Finalize rejects them, but the analysis must not rely
+		// on a finalized input) contribute nothing to held sets; drop them
+		// from the order instead of dereferencing nil.
+		if pr := p.Proc(name); pr != nil {
+			order = append(order, pr)
+			resolved++
+		}
 		var next []string
 		for callee := range callees[name] {
 			callers[callee]--
@@ -305,7 +353,7 @@ func topoOrder(p *ir.Program) ([]*ir.Procedure, error) {
 		sort.Strings(next)
 		ready = append(ready, next...)
 	}
-	if len(order) != len(p.Procs) {
+	if resolved != len(p.Procs) {
 		return nil, fmt.Errorf("locks: call graph not acyclic")
 	}
 	return order, nil

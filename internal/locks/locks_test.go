@@ -255,3 +255,59 @@ func TestAnalyzeUnknownEntry(t *testing.T) {
 		t.Fatal("unknown entry accepted")
 	}
 }
+
+func TestAnalyzeNilProgram(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Fatal("nil program accepted")
+	}
+}
+
+// TestAnalyzeDamagedCFGNoPanic mutates a finalized program the way
+// measurement-fault tests damage CFGs; Analyze must degrade to an error
+// (or a conservative result) instead of panicking.
+func TestAnalyzeDamagedCFGNoPanic(t *testing.T) {
+	t.Run("nil-instr-struct", func(t *testing.T) {
+		p, s := buildLocked(t)
+		for _, b := range p.Blocks() {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLock {
+					b.Instrs[i].Struct = nil
+				}
+			}
+		}
+		info, err := Analyze(p, []string{"writerA", "writerB", "writerC"})
+		if err == nil && info == nil {
+			t.Fatal("nil info without error")
+		}
+		if err == nil {
+			// Damaged lock keys must never claim exclusion on real fields.
+			ba, sa := findAccess(t, p, s, "a")
+			bb, sb := findAccess(t, p, s, "b")
+			if info.MutualExclusion()(ba, sa, bb, sb) {
+				t.Fatal("damaged lock keys claimed exclusion")
+			}
+		}
+	})
+	t.Run("nil-exec-block", func(t *testing.T) {
+		p, _ := buildLocked(t)
+		for _, pr := range p.Procs {
+			for i := range pr.Tree {
+				if eb, ok := pr.Tree[i].(*ir.ExecBlock); ok {
+					eb.Block = nil
+					break
+				}
+			}
+		}
+		if _, err := Analyze(p, []string{"writerA", "writerB", "writerC"}); err != nil {
+			t.Logf("degraded with error (fine): %v", err)
+		}
+	})
+	t.Run("nil-tree-node", func(t *testing.T) {
+		p, _ := buildLocked(t)
+		pr := p.Proc("writerA")
+		pr.Tree[0] = nil
+		if _, err := Analyze(p, []string{"writerA", "writerB", "writerC"}); err != nil {
+			t.Logf("degraded with error (fine): %v", err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package memo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seedDisk writes n entries through the cache and returns their paths,
+// oldest first by the mtimes this helper assigns.
+func seedDisk(t *testing.T, c *Cache, n int, now time.Time) []string {
+	t.Helper()
+	var paths []string
+	for i := 0; i < n; i++ {
+		h := NewHasher()
+		h.Int("i", int64(i))
+		k := h.Sum()
+		if _, err := c.Do(k, func() ([]byte, error) { return []byte(`{"v":` + string(rune('0'+i)) + `}`), nil }); err != nil {
+			t.Fatal(err)
+		}
+		p := c.path(k)
+		// Age entries by index: entry i is (n-i) hours old.
+		mtime := now.Add(-time.Duration(n-i) * time.Hour)
+		if err := os.Chtimes(p, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestGCByAge(t *testing.T) {
+	c := New()
+	if err := c.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	paths := seedDisk(t, c, 4, now) // ages 4h, 3h, 2h, 1h
+	res, err := c.GC(now, 150*time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 4 || res.Removed != 2 {
+		t.Fatalf("scanned %d removed %d; want 4, 2", res.Scanned, res.Removed)
+	}
+	for i, p := range paths {
+		_, err := os.Stat(p)
+		gone := os.IsNotExist(err)
+		if wantGone := i < 2; gone != wantGone {
+			t.Errorf("entry %d: gone=%v, want %v", i, gone, wantGone)
+		}
+	}
+}
+
+func TestGCBySizeBudgetEvictsOldestFirst(t *testing.T) {
+	c := New()
+	if err := c.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	paths := seedDisk(t, c, 4, now)
+	var per int64
+	if fi, err := os.Stat(paths[0]); err == nil {
+		per = fi.Size()
+	} else {
+		t.Fatal(err)
+	}
+	// Budget for exactly two entries: the two oldest must go.
+	res, err := c.GC(now, 0, 2*per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 {
+		t.Fatalf("removed %d; want 2", res.Removed)
+	}
+	for i, p := range paths {
+		_, err := os.Stat(p)
+		gone := os.IsNotExist(err)
+		if wantGone := i < 2; gone != wantGone {
+			t.Errorf("entry %d: gone=%v, want %v", i, gone, wantGone)
+		}
+	}
+}
+
+func TestGCZeroCriteriaKeepsEverything(t *testing.T) {
+	c := New()
+	if err := c.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	seedDisk(t, c, 3, now)
+	res, err := c.GC(now, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 0 || res.Scanned != 3 {
+		t.Fatalf("scanned %d removed %d; want 3, 0", res.Scanned, res.Removed)
+	}
+}
+
+func TestGCRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	seedDisk(t, c, 1, now)
+	shard := filepath.Join(dir, "aa")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(shard, ".tmp-123456")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := now.Add(-48 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC(now, 24*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stale temp file survived GC")
+	}
+}
+
+func TestGCRequiresDiskTier(t *testing.T) {
+	if _, err := New().GC(time.Now(), time.Hour, 0); err == nil {
+		t.Fatal("GC without a disk tier should error")
+	}
+}
+
+// TestGCThenMissRecomputes: a collected entry is a clean miss afterwards,
+// not an error.
+func TestGCThenMissRecomputes(t *testing.T) {
+	c := New()
+	if err := c.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	seedDisk(t, c, 1, now)
+	if _, err := c.GC(now, time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Clear() // drop the memory tier so the disk miss is observable
+	h := NewHasher()
+	h.Int("i", 0)
+	recomputed := false
+	v, err := c.Do(h.Sum(), func() ([]byte, error) { recomputed = true; return []byte(`{"v":0}`), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed || string(v) != `{"v":0}` {
+		t.Fatalf("collected entry should recompute cleanly (recomputed=%v, v=%q)", recomputed, v)
+	}
+}

@@ -107,6 +107,10 @@ type Components struct {
 	Coverage float64
 	// Retention is the fraction of raw samples surviving sanitization.
 	Retention float64
+	// StaticAgreement is the fraction of sampled CC mass the static
+	// may-happen-in-parallel relation considers possible (1 when no
+	// static check ran or nothing contradicted; see HasStaticCheck).
+	StaticAgreement float64
 }
 
 // Assessment is one analysis's measurement-quality outcome.
@@ -118,6 +122,12 @@ type Assessment struct {
 	// HasTrace records whether a sample trace was part of the assessment;
 	// without one only Coverage applies (locality-only analysis by design).
 	HasTrace bool
+	// HasStaticCheck records that a static MHP cross-check of the sampled
+	// concurrency map ran. The component only joins the composite when it
+	// actually disagrees (StaticAgreement < 1): a clean trace carries no
+	// contradicted mass, so clean scores are untouched by the check and
+	// the calibrated thresholds keep their meaning.
+	HasStaticCheck bool
 }
 
 // Verdict grades the score. Callers holding a diagnostics log should
@@ -143,6 +153,9 @@ func (a *Assessment) String() string {
 	}
 	fmt.Fprintf(&sb, " consistency %.3f, balance %.3f, occupancy %.3f, coverage %.3f, retention %.3f",
 		a.Consistency, a.Balance, a.Occupancy, a.Coverage, a.Retention)
+	if a.HasStaticCheck && a.StaticAgreement < 1 {
+		fmt.Fprintf(&sb, ", static-mhp %.3f", a.StaticAgreement)
+	}
 	return sb.String()
 }
 
@@ -166,6 +179,12 @@ type Inputs struct {
 	SliceCycles int64
 	// Coverage is the FMF coverage ratio of the program.
 	Coverage float64
+	// HasStaticCheck marks that StaticAgreement was computed (a static
+	// MHP cross-check of the concurrency map ran).
+	HasStaticCheck bool
+	// StaticAgreement is the fraction of sampled CC mass the static MHP
+	// relation allows; see staticshare.CheckCC.
+	StaticAgreement float64
 }
 
 // Component weights. Consistency carries the most because it is the only
@@ -179,6 +198,10 @@ const (
 	wOccupancy   = 0.10
 	wCoverage    = 0.30
 	wRetention   = 0.20
+	// wStatic weights the static-MHP agreement when (and only when) the
+	// cross-check ran and disagreed; clean collections never include it,
+	// keeping the calibrated thresholds stable.
+	wStatic = 0.10
 )
 
 // Assess computes the composite measurement-quality score. The result is
@@ -188,6 +211,7 @@ const (
 func Assess(in Inputs) *Assessment {
 	a := &Assessment{}
 	a.Coverage = clamp01(in.Coverage)
+	a.StaticAgreement = 1
 	if in.Trace == nil {
 		// Locality-only by design: the trace components do not apply and
 		// must not dilute (or inflate) the score.
@@ -200,13 +224,25 @@ func Assess(in Inputs) *Assessment {
 	a.Balance = cpuBalance(in.Trace)
 	a.Occupancy = sliceOccupancy(in.Trace, in.SliceCycles)
 	a.Retention = retention(len(in.Trace.Samples), in.RawSamples)
-	a.Score = combine([]weighted{
+	parts := []weighted{
 		{a.Consistency, wConsistency},
 		{a.Balance, wBalance},
 		{a.Occupancy, wOccupancy},
 		{a.Coverage, wCoverage},
 		{a.Retention, wRetention},
-	})
+	}
+	if in.HasStaticCheck {
+		a.HasStaticCheck = true
+		a.StaticAgreement = clamp01(in.StaticAgreement)
+		if a.StaticAgreement < 1 {
+			// Contradicted CC mass is direct evidence of misattributed
+			// samples; let it pull the composite down. Agreement of
+			// exactly 1 adds nothing — the geometric mean would otherwise
+			// shift every clean score and decalibrate the bands.
+			parts = append(parts, weighted{a.StaticAgreement, wStatic})
+		}
+	}
+	a.Score = combine(parts)
 	return a
 }
 

@@ -298,3 +298,49 @@ func TestScoreDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestAssessStaticAgreement: the static MHP cross-check component only
+// participates when it disagrees, so clean collections score identically
+// with and without the check, and contradictions drag the score.
+func TestAssessStaticAgreement(t *testing.T) {
+	blocks := []ir.BlockID{0, 1, 2, 3}
+	tr := uniformTrace(4, 50, 1000, blocks)
+	base := Inputs{
+		ProfileBlocks: []float64{50, 50, 50, 50},
+		Trace:         tr,
+		RawSamples:    len(tr.Samples),
+		SliceCycles:   1000,
+		Coverage:      1,
+	}
+	plain := Assess(base)
+	agreeing := base
+	agreeing.HasStaticCheck = true
+	agreeing.StaticAgreement = 1
+	agree := Assess(agreeing)
+	if agree.Score != plain.Score {
+		t.Fatalf("full agreement moved the score: %v -> %v", plain.Score, agree.Score)
+	}
+	if !agree.HasStaticCheck || agree.StaticAgreement != 1 {
+		t.Fatalf("assessment should record the check: %+v", agree)
+	}
+	if strings.Contains(agree.String(), "static-mhp") {
+		t.Error("full agreement should not render the static component")
+	}
+	disagreeing := base
+	disagreeing.HasStaticCheck = true
+	disagreeing.StaticAgreement = 0.5
+	disagree := Assess(disagreeing)
+	if disagree.Score >= plain.Score {
+		t.Fatalf("contradicted CC mass did not drag the score: %v vs %v", disagree.Score, plain.Score)
+	}
+	if !strings.Contains(disagree.String(), "static-mhp") {
+		t.Errorf("disagreement should render the static component: %s", disagree)
+	}
+	// Out-of-range agreement clamps rather than corrupting the geometric mean.
+	weird := base
+	weird.HasStaticCheck = true
+	weird.StaticAgreement = -3
+	if a := Assess(weird); a.StaticAgreement != 0 || a.Score < 0 {
+		t.Fatalf("agreement should clamp to [0,1]: %+v", a)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"structlayout/internal/flg"
 	"structlayout/internal/layout"
 	"structlayout/internal/quality"
+	"structlayout/internal/staticshare"
 )
 
 // Report bundles a layout suggestion with its supporting evidence.
@@ -38,6 +39,11 @@ type Report struct {
 	// graded verdict is SUSPECT the advisory is flagged even though no
 	// individual check crossed a degradation threshold.
 	Quality *quality.Assessment
+	// Static, when non-nil, is the static sharing classification digest
+	// for this struct (internal/staticshare), including whether its
+	// CycleLoss prior was blended into the graph. Nil keeps existing
+	// advisories byte-identical.
+	Static *staticshare.StructSummary
 }
 
 // Degraded reports whether the advisory rests on degraded evidence.
@@ -96,6 +102,10 @@ func (r *Report) String() string {
 		e := negs[len(negs)-1-i] // most negative first
 		fmt.Fprintf(&sb, "  %-20s x %-20s  %.6g (gain %.6g, loss %.6g)\n",
 			st.Fields[e.F1].Name, st.Fields[e.F2].Name, e.Weight(), e.Gain, e.Loss)
+	}
+
+	if r.Static != nil {
+		fmt.Fprintf(&sb, "\n-- static sharing --\n%s", r.Static)
 	}
 
 	if r.Quality != nil {

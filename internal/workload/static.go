@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"structlayout/internal/machine"
+	"structlayout/internal/staticshare"
+)
+
+// StaticConfig derives the static sharing analysis configuration that
+// matches the measurement harness on one machine (see newRunner): one
+// thread per CPU entering its script with its stable parameter vector,
+// and the five kernel arenas' instance counts (runqueues padded to the
+// CPU count exactly as the runner pads them). The seed parameter mirrors
+// ThreadParams' signature; assignments are seed-independent today, so the
+// derived configuration is too.
+func (s *Suite) StaticConfig(topo *machine.Topology, seed int64) *staticshare.Config {
+	cfg := &staticshare.Config{Arenas: make(map[string]int, len(s.byLabel))}
+	for _, label := range Labels() {
+		ks := s.byLabel[label]
+		count := ks.ArenaCount
+		if ks.Label == "D" && count < topo.NumCPUs() {
+			count = topo.NumCPUs()
+		}
+		cfg.Arenas[ks.Type.Name] = count
+	}
+	for cpu := 0; cpu < topo.NumCPUs(); cpu++ {
+		cfg.Threads = append(cfg.Threads, staticshare.Thread{
+			CPU:    cpu,
+			Proc:   s.EntryFor(cpu),
+			Params: s.ThreadParams(cpu, seed),
+			Iters:  s.Params.ScriptsPerThread,
+		})
+	}
+	return cfg
+}
