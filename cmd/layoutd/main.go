@@ -1,0 +1,84 @@
+// Command layoutd serves the layout-analysis pipeline over HTTP/JSON.
+// See docs/SERVICE.md for the API and the degradation contract.
+//
+// Run:
+//
+//	layoutd -addr :8347 -cache-dir /var/cache/layoutd
+//
+// SIGTERM/SIGINT drain gracefully: readiness goes red, new API requests
+// answer 503, in-flight requests finish (bounded by -drain-timeout), then
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"structlayout/internal/memo"
+	"structlayout/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		deadline     = flag.Duration("deadline", 5*time.Second, "default per-request deadline")
+		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "clamp for client-supplied deadlines")
+		reserve      = flag.Duration("static-reserve", 250*time.Millisecond, "budget held back for the static-prior rung")
+		machineName  = flag.String("machine", "way16", "default collection machine")
+		cacheDir     = flag.String("cache-dir", "", "on-disk measurement cache (enables warm replay across restarts)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := memo.Shared().SetDir(*cacheDir); err != nil {
+			log.Fatalf("layoutd: %v", err)
+		}
+	}
+
+	s := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		StaticReserve:   *reserve,
+		DefaultMachine:  *machineName,
+		Logf:            log.Printf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("layoutd: listening on %s (workers=%d)", *addr, *workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("layoutd: serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("layoutd: %s received, draining", sig)
+	}
+
+	// Stop admitting, then wait for in-flight work (bounded). Exiting 0
+	// after a clean drain is the contract the smoke test asserts.
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "layoutd: drain timed out: %v\n", err)
+		os.Exit(1)
+	}
+	st := s.Stats()
+	log.Printf("layoutd: drained cleanly (served %d requests, %d panics)", st.Requests, st.Panics)
+}

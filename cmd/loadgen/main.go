@@ -1,0 +1,405 @@
+// Command loadgen drives layoutd with chaos traffic: concurrent clients
+// submitting a mix of clean requests, fault-injected collections, tight
+// deadlines, and malformed bodies, with retry/backoff/jitter on shed
+// responses. It verifies the service's degradation contract — every
+// response is either a labeled success (verdict OK/SUSPECT/DEGRADED) or an
+// explicit 4xx/5xx with a machine-readable code, and the server records
+// zero panics — and writes a latency/outcome summary (p50/p99, shed rate,
+// degraded rate) as JSON.
+//
+// Run against a live server:
+//
+//	layoutd -addr :8347 &
+//	loadgen -addr http://127.0.0.1:8347 -duration 10s -out BENCH_layoutd.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The traffic programs. Seeds vary per request, so the same text exercises
+// both the cold (full collection) and warm (replay) rungs.
+const progWebserver = `
+program webserver
+
+struct conn {
+    c_state     i64
+    c_accepts   i64
+    c_deadline  i64
+    c_flags     i64
+    c_rxq       i64
+    c_txq       i64
+    c_peer      arr 2 8 align 8
+    c_stats     arr 6 8 align 8
+}
+
+proc serve_request {
+    read conn.c_flags param 0
+    read conn.c_rxq param 0
+    write conn.c_txq param 0
+    read conn.c_accepts shared 0
+    write conn.c_accepts shared 0
+    compute 140
+}
+
+proc worker {
+    loop 12 {
+        call serve_request
+    }
+}
+
+arena conn 64
+thread 0 worker params 8 iters 2
+thread 1 worker params 9 iters 2
+thread 2 worker params 10 iters 2
+thread 3 worker params 11 iters 2
+`
+
+const progCounters = `
+program counters
+
+struct stats {
+    s_lock  i64
+    s_reqs  i64
+    s_errs  i64
+    s_local arr 4 8 align 8
+}
+
+proc bump {
+    lock stats.s_lock param 0
+    write stats.s_reqs shared 0
+    write stats.s_errs shared 0
+    unlock stats.s_lock param 0
+    compute 20
+}
+
+proc worker {
+    loop 16 {
+        call bump
+    }
+}
+
+arena stats 8
+thread 0 worker params 0 iters 2
+thread 1 worker params 1 iters 2
+thread 2 worker params 2 iters 2
+thread 3 worker params 3 iters 2
+`
+
+// analyzeReq mirrors server.AnalyzeRequest (kept in sync by the smoke
+// test; loadgen stays a standalone client on purpose).
+type analyzeReq struct {
+	Program    string `json:"program"`
+	Machine    string `json:"machine,omitempty"`
+	Mode       string `json:"mode,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Inject     string `json:"inject,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// analyzeResp is the slice of the response loadgen validates.
+type analyzeResp struct {
+	Ladder   string `json:"ladder"`
+	Degraded bool   `json:"degraded"`
+	Quality  struct {
+		Verdict string `json:"verdict"`
+	} `json:"quality"`
+}
+
+// outcome classifies one terminal request (after retries).
+type outcome struct {
+	class     string // ok-full, ok-replay, ok-static, degraded-*, shed, deadline, bad-request, panic, transport, contract-violation
+	latencyMS float64
+	retries   int
+}
+
+// Report is the JSON summary written to -out.
+type Report struct {
+	Config struct {
+		Addr     string  `json:"addr"`
+		Clients  int     `json:"clients"`
+		Duration string  `json:"duration"`
+		Inject   string  `json:"inject"`
+		FaultPct float64 `json:"fault_pct"`
+		Seed     int64   `json:"seed"`
+	} `json:"config"`
+	Requests          int             `json:"requests"`
+	Retries           int             `json:"retries"`
+	ByClass           map[string]int  `json:"by_class"`
+	P50MS             float64         `json:"p50_ms"`
+	P99MS             float64         `json:"p99_ms"`
+	ShedRate          float64         `json:"shed_rate"`
+	DegradedRate      float64         `json:"degraded_rate"`
+	ContractViolation int             `json:"contract_violations"`
+	ServerStats       json.RawMessage `json:"server_stats"`
+	WallSeconds       float64         `json:"wall_seconds"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8347", "layoutd base URL")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "traffic duration")
+		inject   = flag.String("inject", "loss=0.3,dup=0.05", "fault spec for the faulted slice of traffic")
+		faultPct = flag.Float64("fault-pct", 0.4, "fraction of analyze requests carrying the fault spec")
+		badPct   = flag.Float64("bad-pct", 0.1, "fraction of requests that are intentionally malformed")
+		seed     = flag.Int64("seed", 1, "traffic-shape seed")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 90 * time.Second}
+	start := time.Now()
+	deadline := start.Add(*duration)
+
+	var mu sync.Mutex
+	var outcomes []outcome
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)*7919))
+			for time.Now().Before(deadline) {
+				o := oneRequest(client, *addr, rng, *inject, *faultPct, *badPct)
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := buildReport(outcomes, wall)
+	rep.Config.Addr = *addr
+	rep.Config.Clients = *clients
+	rep.Config.Duration = duration.String()
+	rep.Config.Inject = *inject
+	rep.Config.FaultPct = *faultPct
+	rep.Config.Seed = *seed
+
+	// Post-run server-side assertions: health green, zero panics.
+	healthy := checkHealth(client, *addr)
+	rep.ServerStats = fetchStats(client, *addr)
+	panics := statValue(rep.ServerStats, "panics")
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: encoding report: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	switch {
+	case !healthy:
+		log.Fatalf("loadgen: FAIL: /healthz not green after the run")
+	case panics != 0:
+		log.Fatalf("loadgen: FAIL: server recorded %d panics", panics)
+	case rep.ContractViolation != 0:
+		log.Fatalf("loadgen: FAIL: %d responses violated the degradation contract", rep.ContractViolation)
+	case rep.ByClass["transport"] > 0:
+		log.Fatalf("loadgen: FAIL: %d requests failed at the transport layer", rep.ByClass["transport"])
+	}
+	log.Printf("loadgen: PASS: %d requests, p50 %.1fms p99 %.1fms, shed %.1f%%, degraded %.1f%%",
+		rep.Requests, rep.P50MS, rep.P99MS, 100*rep.ShedRate, 100*rep.DegradedRate)
+}
+
+// oneRequest issues one logical request (with retry/backoff on shed) and
+// classifies the terminal answer.
+func oneRequest(client *http.Client, addr string, rng *rand.Rand, inject string, faultPct, badPct float64) outcome {
+	req := analyzeReq{
+		Program: progWebserver,
+		Mode:    "auto",
+		Seed:    1 + rng.Int63n(3), // small seed pool: mixes cold collections with warm replays
+	}
+	if rng.Float64() < 0.5 {
+		req.Program = progCounters
+	}
+	if rng.Float64() < faultPct {
+		req.Inject = inject
+	}
+	// Deadline mix: mostly comfortable, some tight enough to force the
+	// static rung or an explicit 504.
+	switch rng.Intn(10) {
+	case 0:
+		req.DeadlineMS = 30
+	case 1:
+		req.DeadlineMS = 250
+	default:
+		req.DeadlineMS = 8000
+	}
+	body, _ := json.Marshal(req)
+	if rng.Float64() < badPct {
+		// Malformed traffic: truncated JSON or an unparseable program. The
+		// server must answer 400 with a code, never 500.
+		if rng.Intn(2) == 0 {
+			body = body[:len(body)/2]
+		} else {
+			body, _ = json.Marshal(analyzeReq{Program: "program broken\nstruct {"})
+		}
+	}
+
+	start := time.Now()
+	retries := 0
+	backoff := 50 * time.Millisecond
+	for {
+		status, respBody, err := post(client, addr+"/v1/analyze", body)
+		if err != nil {
+			if retries < 3 {
+				retries++
+				sleepJitter(rng, &backoff)
+				continue
+			}
+			return outcome{class: "transport", latencyMS: ms(start), retries: retries}
+		}
+		switch {
+		case status == http.StatusOK:
+			var ar analyzeResp
+			if jerr := json.Unmarshal(respBody, &ar); jerr != nil || ar.Ladder == "" ||
+				(ar.Quality.Verdict != "OK" && ar.Quality.Verdict != "SUSPECT" && ar.Quality.Verdict != "DEGRADED") {
+				return outcome{class: "contract-violation", latencyMS: ms(start), retries: retries}
+			}
+			class := "ok-" + ar.Ladder
+			if ar.Degraded {
+				class = "degraded-" + ar.Ladder
+			}
+			return outcome{class: class, latencyMS: ms(start), retries: retries}
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			if retries < 3 {
+				retries++
+				sleepJitter(rng, &backoff)
+				continue
+			}
+			return outcome{class: "shed", latencyMS: ms(start), retries: retries}
+		case status == http.StatusGatewayTimeout:
+			return outcome{class: "deadline", latencyMS: ms(start), retries: retries}
+		case status >= 400 && status < 500:
+			return outcome{class: "bad-request", latencyMS: ms(start), retries: retries}
+		default:
+			// 5xx: the chaos run treats any panic-shaped answer as a failure.
+			return outcome{class: "panic", latencyMS: ms(start), retries: retries}
+		}
+	}
+}
+
+func post(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+func sleepJitter(rng *rand.Rand, backoff *time.Duration) {
+	d := *backoff + time.Duration(rng.Int63n(int64(*backoff)))
+	time.Sleep(d)
+	*backoff *= 2
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+func buildReport(outcomes []outcome, wall time.Duration) *Report {
+	rep := &Report{ByClass: make(map[string]int)}
+	var lat []float64
+	shed, degraded, ok := 0, 0, 0
+	for _, o := range outcomes {
+		rep.Requests++
+		rep.Retries += o.retries
+		rep.ByClass[o.class]++
+		lat = append(lat, o.latencyMS)
+		switch {
+		case o.class == "shed":
+			shed++
+		case len(o.class) >= 8 && o.class[:8] == "degraded":
+			degraded++
+			ok++
+		case len(o.class) >= 2 && o.class[:2] == "ok":
+			ok++
+		}
+		if o.class == "contract-violation" {
+			rep.ContractViolation++
+		}
+	}
+	sort.Float64s(lat)
+	rep.P50MS = percentile(lat, 0.50)
+	rep.P99MS = percentile(lat, 0.99)
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(shed) / float64(rep.Requests)
+	}
+	if ok > 0 {
+		rep.DegradedRate = float64(degraded) / float64(ok)
+	}
+	rep.WallSeconds = wall.Seconds()
+	return rep
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func checkHealth(client *http.Client, addr string) bool {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func fetchStats(client *http.Client, addr string) json.RawMessage {
+	resp, err := client.Get(addr + "/statusz")
+	if err != nil {
+		return json.RawMessage(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return json.RawMessage(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return b
+}
+
+// statValue digs one counter out of the /statusz blob (shape:
+// {"stats": {...counters...}, ...}); -1 when absent.
+func statValue(blob json.RawMessage, name string) int64 {
+	var v struct {
+		Stats map[string]int64 `json:"stats"`
+	}
+	if err := json.Unmarshal(blob, &v); err != nil || v.Stats == nil {
+		return -1
+	}
+	n, ok := v.Stats[name]
+	if !ok {
+		return -1
+	}
+	return n
+}

@@ -7,6 +7,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -194,12 +196,21 @@ func (m Measurement) SpeedupOver(base Measurement) float64 {
 // baseline per struct variant set, warm disk caches span processes —
 // replay instead of re-simulating.
 func Measure(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (Measurement, error) {
+	return MeasureCtx(context.Background(), f, cfg, layouts, n)
+}
+
+// MeasureCtx is Measure with cooperative cancellation: a cancelled or
+// timed-out ctx stops dequeuing remaining runs (runs already simulating
+// finish — a single run is never interrupted mid-simulation) and returns
+// ctx's error. A cancelled measurement is never cached, so a later
+// uncancelled call recomputes the full, deterministic aggregate.
+func MeasureCtx(ctx context.Context, f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (Measurement, error) {
 	if n <= 0 {
 		return Measurement{}, fmt.Errorf("driver: need at least one measured run")
 	}
 	cfg.fillDefaults()
 	compute := func() (Measurement, error) {
-		runs, err := parallel.Map(n, func(i int) (float64, error) {
+		runs, err := parallel.MapCtx(ctx, n, func(ctx context.Context, i int) (float64, error) {
 			rcfg := cfg
 			rcfg.Seed = parallel.SeedFor(cfg.Seed, i, "driver", f.Prog.Name)
 			rcfg.Sampling = nil
@@ -215,7 +226,19 @@ func Measure(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n in
 		}
 		return Measurement{Mean: stats.TrimmedMean(runs), Runs: runs}, nil
 	}
-	return measureMemo(f, cfg, layouts, n, compute)
+	for {
+		m, err := measureMemo(f, cfg, layouts, n, compute)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The error is another caller's: concurrent measurements of the
+			// same cell share one in-flight computation, and the one doing
+			// the computing was cancelled. Our own deadline still holds, so
+			// go again — either we compute it ourselves this time or a
+			// completed flight serves us.
+			continue
+		}
+		return m, err
+	}
 }
 
 // StructEval is one struct's outcome when its variant layout is applied
@@ -245,15 +268,23 @@ type EvalResult struct {
 // the collection that produced the variants; it is attached to the result
 // and rendered alongside the table.
 func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layout, runs int, q *quality.Assessment) (*EvalResult, error) {
+	return EvaluateCtx(context.Background(), f, cfg, base, variants, runs, q)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation stops dequeuing
+// both whole measurement cells and the runs inside each cell (see
+// MeasureCtx), so a timed-out caller stops consuming workers at the next
+// run boundary instead of measuring the full table to completion.
+func EvaluateCtx(ctx context.Context, f *irtext.File, cfg Config, base, variants map[string]*layout.Layout, runs int, q *quality.Assessment) (*EvalResult, error) {
 	names := make([]string, 0, len(variants))
 	for name := range variants {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	// Item 0 is the shared baseline measurement; items 1.. the struct cells.
-	ms, err := parallel.Map(len(names)+1, func(i int) (Measurement, error) {
+	ms, err := parallel.MapCtx(ctx, len(names)+1, func(ctx context.Context, i int) (Measurement, error) {
 		if i == 0 {
-			return Measure(f, cfg, base, runs)
+			return MeasureCtx(ctx, f, cfg, base, runs)
 		}
 		name := names[i-1]
 		overlay := make(map[string]*layout.Layout, len(base)+1)
@@ -261,7 +292,7 @@ func Evaluate(f *irtext.File, cfg Config, base, variants map[string]*layout.Layo
 			overlay[k] = v
 		}
 		overlay[name] = variants[name]
-		m, err := Measure(f, cfg, overlay, runs)
+		m, err := MeasureCtx(ctx, f, cfg, overlay, runs)
 		if err != nil {
 			return m, fmt.Errorf("driver: measuring %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"bytes"
 	"encoding/json"
 	"sort"
 
@@ -8,6 +9,8 @@ import (
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/memo"
+	"structlayout/internal/profile"
+	"structlayout/internal/sampling"
 )
 
 // Measure results for DSL programs are pure functions of (program, run
@@ -19,15 +22,15 @@ import (
 // complete serialization to hash, where the built-in suite could hash its
 // few scalar parameters instead.
 
-// measureKey keys one Measure call. ok is false when some input resists
-// canonical hashing (nil topology, un-layoutable struct); callers then
-// skip the cache and compute directly.
-func measureKey(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (memo.Key, bool) {
+// hashFileConfig hashes everything Measure and Collect share: the
+// canonical program, the run harness (arenas, threads), the machine, the
+// cache geometry, the seed, and the effective layout of every struct. ok
+// is false when some input resists canonical hashing (nil topology,
+// un-layoutable struct); callers then skip the cache and compute directly.
+func hashFileConfig(h *memo.Hasher, f *irtext.File, cfg Config, layouts map[string]*layout.Layout) bool {
 	if cfg.Topo == nil || f.Prog == nil {
-		return memo.Key{}, false
+		return false
 	}
-	h := memo.NewHasher()
-	h.Str("kind", "driver.measure")
 	h.Str("prog", ir.Canonical(f.Prog))
 	names := make([]string, 0, len(f.Arenas))
 	for name := range f.Arenas {
@@ -53,7 +56,6 @@ func measureKey(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n
 	h.Topology("topo", cfg.Topo)
 	h.CacheConfig("cache", cfg.Cache)
 	h.Int("seed", cfg.Seed)
-	h.Int("runs", int64(n))
 	// Hash the effective layout of every struct, resolving fallbacks the
 	// way Run does (declaration order when no layout is supplied). Structs
 	// the program never touches hash their defaults too — a superset of
@@ -66,12 +68,23 @@ func measureKey(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n
 			var err error
 			lay, err = layout.Original(st, lineSize)
 			if err != nil {
-				return memo.Key{}, false
+				return false
 			}
 		}
 		eff[st.Name] = lay
 	}
 	h.Layouts("layouts", eff)
+	return true
+}
+
+// measureKey keys one Measure call.
+func measureKey(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, n int) (memo.Key, bool) {
+	h := memo.NewHasher()
+	h.Str("kind", "driver.measure")
+	if !hashFileConfig(h, f, cfg, layouts) {
+		return memo.Key{}, false
+	}
+	h.Int("runs", int64(n))
 	// Measure is clean by contract: fault injection applies to collected
 	// artifacts, never to throughput runs. Record that in the key.
 	h.FaultSpec("inject", nil)
@@ -108,4 +121,97 @@ func measureMemo(f *irtext.File, cfg Config, layouts map[string]*layout.Layout, 
 		return compute()
 	}
 	return Measurement{Mean: v.Mean, Runs: v.Runs}, nil
+}
+
+// collectKey keys one Collect call: the shared file config plus the
+// effective sampling parameters and the fault spec (Collect hands back
+// already-faulted artifacts, so the spec changes the cached value).
+func collectKey(f *irtext.File, cfg Config) (memo.Key, bool) {
+	cfg.fillDefaults()
+	h := memo.NewHasher()
+	h.Str("kind", "driver.collect")
+	if !hashFileConfig(h, f, cfg, nil) {
+		return memo.Key{}, false
+	}
+	sc := cfg.Sampling
+	if sc == nil {
+		// Collect's own default; keep in sync with Collect.
+		sc = &sampling.Config{IntervalCycles: 2500, DriftMaxCycles: 8, LossProb: 0.02, Seed: cfg.Seed + 17}
+	}
+	h.Int("s.interval", sc.IntervalCycles)
+	h.Int("s.drift", sc.DriftMaxCycles)
+	h.F64("s.loss", sc.LossProb)
+	h.Int("s.seed", sc.Seed)
+	h.FaultSpec("inject", cfg.Inject)
+	return h.Sum(), true
+}
+
+// collectValue is the cached form of one collection: the artifact streams
+// in their canonical file encodings (decode reuses the on-disk formats'
+// validation) plus the run's cycle count, which sizes the concurrency
+// slices downstream.
+type collectValue struct {
+	Profile json.RawMessage `json:"profile"`
+	Trace   json.RawMessage `json:"trace"`
+	Cycles  int64           `json:"cycles"`
+}
+
+// CollectCacheReady reports whether CollectCached for these inputs would
+// replay from the shared cache instead of simulating. Advisory only (a
+// racing GC can evict between the check and the call); layoutd's
+// degradation ladder uses it to tell "nearly free replay" from "real
+// simulation" when budgeting a request's remaining deadline.
+func CollectCacheReady(f *irtext.File, cfg Config) bool {
+	k, ok := collectKey(f, cfg)
+	return ok && memo.Shared().Contains(k)
+}
+
+// CollectCached is Collect through the process-wide memo cache: a pure
+// function of (program, harness, topology, sampling, seed, fault spec),
+// so repeated collections — a fleet of clients submitting the same
+// program, a warm disk tier across restarts — replay instead of
+// re-simulating. Hits decode fresh values; callers may mutate the
+// returned artifacts freely. Returns the collected profile, trace, and
+// the run's cycle count.
+func CollectCached(f *irtext.File, cfg Config) (*profile.Profile, *sampling.Trace, int64, error) {
+	k, ok := collectKey(f, cfg)
+	if !ok {
+		res, err := Collect(f, cfg, nil)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return res.Profile, res.Trace, res.Cycles, nil
+	}
+	raw, err := memo.Shared().Do(k, func() ([]byte, error) {
+		res, err := Collect(f, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		var pbuf, tbuf bytes.Buffer
+		if err := res.Profile.WriteJSON(&pbuf); err != nil {
+			return nil, err
+		}
+		if err := res.Trace.WriteJSON(&tbuf); err != nil {
+			return nil, err
+		}
+		return json.Marshal(collectValue{Profile: pbuf.Bytes(), Trace: tbuf.Bytes(), Cycles: res.Cycles})
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var v collectValue
+	if err := json.Unmarshal(raw, &v); err == nil {
+		pf, perr := profile.ReadJSON(bytes.NewReader(v.Profile), f.Prog)
+		tr, terr := sampling.ReadJSON(bytes.NewReader(v.Trace))
+		if perr == nil && terr == nil {
+			return pf, tr, v.Cycles, nil
+		}
+	}
+	// Corrupt or shape-mismatched entry: recompute fresh, bypassing the
+	// poisoned value (degrade-don't-die).
+	res, rerr := Collect(f, cfg, nil)
+	if rerr != nil {
+		return nil, nil, 0, rerr
+	}
+	return res.Profile, res.Trace, res.Cycles, nil
 }

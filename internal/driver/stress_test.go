@@ -1,0 +1,202 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"structlayout/internal/faults"
+	"structlayout/internal/irtext"
+	"structlayout/internal/machine"
+	"structlayout/internal/memo"
+	"structlayout/internal/workload"
+)
+
+// The concurrent-callers stress test: many goroutines drive driver.Measure,
+// driver.CollectCached, and workload.Measure over a mixed set of
+// configurations — some fault-injected, some clean, racing cold (single
+// flight coalescing) and warm (memory-tier hits) cache states — and every
+// result must be byte-identical to the one a serial pass computed. Run
+// under -race this is also the memoization layer's data-race test.
+
+const stressProgram = `
+program stress%d
+
+struct stats {
+    s_lock  i64
+    s_reqs  i64
+    s_errs  i64
+    s_local arr 4 8 align 8
+}
+
+proc bump {
+    lock stats.s_lock param 0
+    write stats.s_reqs shared 0
+    write stats.s_errs shared 0
+    unlock stats.s_lock param 0
+    compute 20
+}
+
+proc worker {
+    loop 8 {
+        call bump
+    }
+}
+
+arena stats 8
+thread 0 worker params 0 iters 2
+thread 1 worker params 1 iters 2
+`
+
+// stressCase is one configuration a worker can replay.
+type stressCase struct {
+	name string
+	run  func() (string, error) // returns a canonical encoding of the result
+}
+
+func stressCases(t *testing.T) []stressCase {
+	t.Helper()
+	topo, err := machine.ByName("way16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []stressCase
+
+	// driver.Measure over two programs and two seeds.
+	for p := 0; p < 2; p++ {
+		file, err := irtext.Parse(fmt.Sprintf(stressProgram, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			cfg := Config{Topo: topo, Seed: seed}
+			cases = append(cases, stressCase{
+				name: fmt.Sprintf("measure/p%d/s%d", p, seed),
+				run: func() (string, error) {
+					m, err := Measure(file, cfg, nil, 3)
+					if err != nil {
+						return "", err
+					}
+					b, err := json.Marshal(m)
+					return string(b), err
+				},
+			})
+		}
+	}
+
+	// driver.CollectCached with and without fault injection: the faulted
+	// artifacts are part of the cached value, so replays must reproduce
+	// them bit-for-bit too.
+	for _, spec := range []string{"", "loss=0.4,seed=9", "drift=0.5,seed=3"} {
+		fs, err := faults.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := irtext.Parse(fmt.Sprintf(stressProgram, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Topo: topo, Seed: 5, Inject: fs}
+		label := spec
+		if label == "" {
+			label = "clean"
+		}
+		cases = append(cases, stressCase{
+			name: "collect/" + label,
+			run: func() (string, error) {
+				pf, tr, cycles, err := CollectCached(file, cfg)
+				if err != nil {
+					return "", err
+				}
+				var pbuf, tbuf bytes.Buffer
+				if err := pf.WriteJSON(&pbuf); err != nil {
+					return "", err
+				}
+				if err := tr.WriteJSON(&tbuf); err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d\n%s\n%s", cycles, pbuf.String(), tbuf.String()), nil
+			},
+		})
+	}
+
+	// workload.Measure: the built-in suite's memoized path, sharing the
+	// same process-wide cache and worker pool as the driver calls above.
+	suite, err := workload.NewSuite(workload.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := suite.BaselineLayouts(128)
+	for seed := int64(100); seed <= 101; seed++ {
+		cases = append(cases, stressCase{
+			name: fmt.Sprintf("workload/s%d", seed),
+			run: func() (string, error) {
+				m, err := suite.Measure(topo, ls, 3, seed)
+				if err != nil {
+					return "", err
+				}
+				b, err := json.Marshal(m)
+				return string(b), err
+			},
+		})
+	}
+	return cases
+}
+
+func TestConcurrentCallersMatchSerial(t *testing.T) {
+	cases := stressCases(t)
+
+	// Serial ground truth on a cold cache.
+	memo.Shared().Clear()
+	want := make(map[string]string, len(cases))
+	for _, c := range cases {
+		got, err := c.run()
+		if err != nil {
+			t.Fatalf("serial %s: %v", c.name, err)
+		}
+		want[c.name] = got
+	}
+
+	// Concurrent replay, twice over: round one races the cold cache (the
+	// interesting window for single-flight and torn-write bugs), round two
+	// hits the warm memory tier.
+	for round, clear := range []bool{true, false} {
+		if clear {
+			memo.Shared().Clear()
+		}
+		const workers = 16
+		var wg sync.WaitGroup
+		errs := make(chan error, workers*len(cases))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker walks the cases at a different phase so distinct
+				// keys race each other too, not just identical ones.
+				for i := range cases {
+					c := cases[(i+w)%len(cases)]
+					got, err := c.run()
+					if err != nil {
+						errs <- fmt.Errorf("round %d worker %d %s: %w", round, w, c.name, err)
+						return
+					}
+					if got != want[c.name] {
+						errs <- fmt.Errorf("round %d worker %d %s: result differs from serial\n got: %.120s\nwant: %.120s",
+							round, w, c.name, got, want[c.name])
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"structlayout/internal/sampling"
 )
 
-
 // origLayout builds the declaration-order layout at a 128-byte line,
 // failing the test on error.
 func origLayout(t testing.TB, st *ir.StructType) *layout.Layout {

@@ -106,7 +106,6 @@ func Build(ag *affinity.Graph, cm *concurrency.Map, fmf *fieldmap.File, opts Opt
 	return g
 }
 
-
 // addCycleLoss joins the concurrency map with the FMF.
 func (g *Graph) addCycleLoss(cm *concurrency.Map, fmf *fieldmap.File, opts Options) {
 	touching := fmf.BlocksTouching(g.Struct.Name)

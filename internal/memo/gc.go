@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,12 +19,20 @@ type GCResult struct {
 	// size budget. Stale temp files from interrupted writes count too.
 	Removed      int
 	RemovedBytes int64
+	// Corrupt counts partially written entries (crash torn, not valid
+	// JSON) found and removed regardless of age or size budget. They are
+	// included in Removed/RemovedBytes.
+	Corrupt int
 }
 
 // String renders the pass outcome.
 func (r GCResult) String() string {
-	return fmt.Sprintf("scanned %d entries (%d bytes), removed %d (%d bytes), %d kept (%d bytes)",
+	s := fmt.Sprintf("scanned %d entries (%d bytes), removed %d (%d bytes), %d kept (%d bytes)",
 		r.Scanned, r.ScannedBytes, r.Removed, r.RemovedBytes, r.Scanned-r.Removed, r.ScannedBytes-r.RemovedBytes)
+	if r.Corrupt > 0 {
+		s += fmt.Sprintf(", %d corrupt collected", r.Corrupt)
+	}
+	return s
 }
 
 // GC ages the disk tier: entries whose modification time is older than
@@ -84,13 +93,25 @@ func (c *Cache) GC(now time.Time, maxAge time.Duration, maxBytes int64) (GCResul
 				}
 				continue
 			}
+			path := filepath.Join(shardPath, f.Name())
+			res.Scanned++
+			res.ScannedBytes += info.Size()
+			// A partially written entry (a crash mid-write on a filesystem
+			// that exposed the rename before the data) is garbage whatever
+			// its age: it can never hit, only waste a read. Collect it now.
+			if raw, rerr := os.ReadFile(path); rerr == nil && !json.Valid(raw) {
+				if os.Remove(path) == nil {
+					res.Removed++
+					res.RemovedBytes += info.Size()
+					res.Corrupt++
+				}
+				continue
+			}
 			entries = append(entries, entry{
-				path:  filepath.Join(shardPath, f.Name()),
+				path:  path,
 				size:  info.Size(),
 				mtime: info.ModTime(),
 			})
-			res.Scanned++
-			res.ScannedBytes += info.Size()
 		}
 	}
 	// Oldest first; ties break by path for determinism.
@@ -100,7 +121,10 @@ func (c *Cache) GC(now time.Time, maxAge time.Duration, maxBytes int64) (GCResul
 		}
 		return entries[i].path < entries[j].path
 	})
-	kept := res.ScannedBytes
+	var kept int64
+	for _, e := range entries {
+		kept += e.size
+	}
 	remove := func(e entry) {
 		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
 			res.Removed++

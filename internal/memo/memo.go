@@ -30,6 +30,7 @@ package memo
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -125,6 +126,27 @@ func (c *Cache) Clear() {
 	c.stats = Stats{}
 }
 
+// Contains reports whether k would be served from a tier right now,
+// without computing, promoting, or counting anything. Callers use it to
+// pick a degradation rung: a present entry means the work is (nearly)
+// free replay, an absent one means real computation. The answer is
+// advisory — a concurrent GC or writer can change it — so callers must
+// still be correct when a later Do misses.
+func (c *Cache) Contains(k Key) bool {
+	c.mu.Lock()
+	_, inMem := c.mem[k]
+	dir := c.dir
+	c.mu.Unlock()
+	if inMem {
+		return true
+	}
+	if dir == "" {
+		return false
+	}
+	fi, err := os.Stat(c.path(k))
+	return err == nil && fi.Size() > 0
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
@@ -151,7 +173,15 @@ func (c *Cache) get(k Key) ([]byte, bool) {
 	if dir == "" {
 		return nil, false
 	}
-	v, err := os.ReadFile(c.path(k))
+	path := c.path(k)
+	v, err := os.ReadFile(path)
+	if err == nil && !json.Valid(v) {
+		// A torn entry from a crashed writer (every cached value is JSON, so
+		// a valid entry always parses). Collect it and degrade to a miss;
+		// the recomputation will overwrite it atomically.
+		os.Remove(path)
+		err = fmt.Errorf("memo: corrupt disk entry %s", path)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -178,12 +208,16 @@ func (c *Cache) put(k Key, v []byte) {
 	path := c.path(k)
 	err := os.MkdirAll(filepath.Dir(path), 0o755)
 	if err == nil {
-		// Write-temp-then-rename keeps concurrent processes from ever
-		// observing a torn entry.
+		// Write-temp, fsync, then rename: concurrent processes never observe
+		// a torn entry, and a crash (or power loss) between write and rename
+		// leaves only a temp file, never a short entry under the final name.
 		var tmp *os.File
 		tmp, err = os.CreateTemp(filepath.Dir(path), ".tmp-*")
 		if err == nil {
 			_, err = tmp.Write(v)
+			if serr := tmp.Sync(); err == nil {
+				err = serr
+			}
 			if cerr := tmp.Close(); err == nil {
 				err = cerr
 			}
@@ -192,6 +226,11 @@ func (c *Cache) put(k Key, v []byte) {
 			}
 			if err != nil {
 				os.Remove(tmp.Name())
+			} else if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+				// Persist the rename itself; best-effort (some filesystems
+				// reject directory fsync, and the entry is only a cache).
+				d.Sync()
+				d.Close()
 			}
 		}
 	}
@@ -203,6 +242,10 @@ func (c *Cache) put(k Key, v []byte) {
 }
 
 // Do returns the cached value for k, computing and storing it on a miss.
+// Values must be valid JSON (every caller stores encoding/json output):
+// the disk tier uses JSON validity to detect and collect partially
+// written entries left by a crashed writer, so a non-JSON value would be
+// persisted but never served back.
 // Concurrent callers with the same key share one computation (the pipeline
 // fans identical cells out over the worker pool; without single-flight a
 // cold cache would compute duplicates in parallel and win nothing).

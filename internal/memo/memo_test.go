@@ -240,7 +240,7 @@ func TestCacheDiskTier(t *testing.T) {
 	h := NewHasher()
 	h.Str("k", "disk")
 	k := h.Sum()
-	if _, err := c1.Do(k, func() ([]byte, error) { return []byte("persisted"), nil }); err != nil {
+	if _, err := c1.Do(k, func() ([]byte, error) { return []byte(`"persisted"`), nil }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -253,7 +253,7 @@ func TestCacheDiskTier(t *testing.T) {
 		t.Error("compute ran despite disk entry")
 		return nil, nil
 	})
-	if err != nil || string(v) != "persisted" {
+	if err != nil || string(v) != `"persisted"` {
 		t.Fatalf("disk hit: %q, %v", v, err)
 	}
 	st := c2.Stats()
@@ -281,8 +281,8 @@ func TestCacheDiskTier(t *testing.T) {
 	if err := os.Remove(ents[0]); err != nil {
 		t.Fatal(err)
 	}
-	v, err = c3.Do(k, func() ([]byte, error) { return []byte("recomputed"), nil })
-	if err != nil || string(v) != "recomputed" {
+	v, err = c3.Do(k, func() ([]byte, error) { return []byte(`"recomputed"`), nil })
+	if err != nil || string(v) != `"recomputed"` {
 		t.Fatalf("recompute after removal: %q, %v", v, err)
 	}
 }

@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -72,6 +73,25 @@ type panicBox struct{ val any }
 // panic inside fn is re-raised on the calling goroutine after all workers
 // have stopped.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled, no
+// further work item is dequeued — items already running finish (an item is
+// never interrupted mid-run), and the skipped items' slots keep their zero
+// values. When cancellation prevented at least one item from running,
+// MapCtx returns ctx's error, so a caller can never mistake a partial
+// gather for a complete one; an item's own error still wins the
+// smallest-failing-index rule among the items that ran. With an
+// uncancelled ctx, MapCtx behaves exactly like Map, so seeded callers keep
+// byte-identical output at any worker count. A nil ctx means
+// context.Background().
+func MapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -80,13 +100,18 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	lim, tok := current()
 
 	var panicked atomic.Pointer[panicBox]
+	var skipped atomic.Bool
 	runItem := func(i int) {
+		if ctx.Err() != nil {
+			skipped.Store(true)
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				panicked.CompareAndSwap(nil, &panicBox{val: r})
 			}
 		}()
-		out[i], errs[i] = fn(i)
+		out[i], errs[i] = fn(ctx, i)
 	}
 
 	if lim <= 1 || n == 1 {
@@ -132,6 +157,9 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			return out, err
 		}
 	}
+	if skipped.Load() {
+		return out, ctx.Err()
+	}
 	return out, nil
 }
 
@@ -139,6 +167,14 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 func ForEach(n int, fn func(i int) error) error {
 	_, err := Map(n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// ForEachCtx is MapCtx for work items with no result value.
+func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapCtx(ctx, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
 	})
 	return err
 }
