@@ -6,6 +6,7 @@
 //	experiments stability  §4.3: concurrency-map stability across machines
 //	experiments robustness fault-severity sweep: layout quality vs corrupted inputs
 //	experiments quality    analyze-only sweep calibrating the quality-score thresholds
+//	experiments simcheck   validate -sim=sampled against exact on the figure suite
 //	experiments all        everything
 //	experiments bench      time the pipeline and write BENCH_pipeline.json
 //
@@ -25,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"structlayout/internal/exec"
 	"structlayout/internal/experiments"
 	"structlayout/internal/faults"
 	"structlayout/internal/machine"
@@ -44,6 +46,8 @@ func main() {
 		benchOut = flag.String("out", "BENCH_pipeline.json", "bench: write the timing report to this file")
 		check    = flag.String("check", "", "bench: fail if wall-clock regresses >25% against this baseline report")
 		cacheDir = flag.String("cache-dir", "", "persist the measurement cache here; warm re-runs reuse identical measurements")
+		simFlag  = flag.String("sim", "", "simulation mode for measured runs: exact (default) or sampled (extrapolated, approximate; collection stays exact)")
+		shards   = flag.Int("shards", 0, "coherence-directory shard count (power of two; 0 = unsharded; results are byte-identical at any count)")
 	)
 	flag.Parse()
 	if *jobs > 0 {
@@ -65,6 +69,13 @@ func main() {
 		cfg.Runs = 3
 	}
 	cfg.BaseSeed = *seed
+	simMode, err := exec.ParseSimMode(*simFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg.Sim = exec.SimConfig{Mode: simMode}
+	cfg.Shards = *shards
 	var spec *faults.Spec
 	if *inject != "" {
 		var err error
@@ -84,12 +95,13 @@ func main() {
 		}
 	}
 
-	var err error
 	switch what {
 	case "bench":
 		err = runBench(cfg, *short, *benchOut, *check)
 	case "quality":
 		err = runQuality(cfg, spec)
+	case "simcheck":
+		err = runSimCheck(cfg)
 	default:
 		err = run(what, cfg, spec, topo)
 	}
@@ -97,6 +109,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runSimCheck validates -sim=sampled differentially against exact on the
+// full figure suite, asserting the documented error bound (CI runs this
+// in the bench-smoke job).
+func runSimCheck(cfg experiments.Config) error {
+	start := time.Now()
+	res, err := experiments.SimCheck(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return res.Err()
 }
 
 // runQuality prints the analyze-only calibration sweep behind the quality
@@ -190,7 +216,7 @@ func run(what string, cfg experiments.Config, spec *faults.Spec, topo *machine.T
 	}
 	j, ok := jobs[what]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict, robustness, quality or all)", what)
+		return fmt.Errorf("unknown experiment %q (want fig8, fig9, fig10, stability, predict, robustness, quality, simcheck or all)", what)
 	}
 	if err := j.fn(); err != nil {
 		return err

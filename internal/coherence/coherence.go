@@ -16,6 +16,9 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
 
 	"structlayout/internal/machine"
 )
@@ -86,6 +89,14 @@ type Config struct {
 	Ways     int
 	// Protocol selects MESI (default) or MSI.
 	Protocol Protocol
+	// Shards is the number of directory shards (a power of two; 0 means 1).
+	// A line's directory entry is allocated from shard line&(Shards-1), so
+	// callers that partition the address space by line — the execution
+	// engine's thread groups — can drive disjoint regions concurrently:
+	// each shard's mutable allocation state (map tier, slab pool) has its
+	// own lock, and every counter is per-CPU. Sharding never changes any
+	// result: stats, states and latencies are byte-identical at any count.
+	Shards int
 }
 
 // DefaultItanium returns the 6 MB, 12-way, 128 B/line configuration.
@@ -112,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.Protocol != MESI && c.Protocol != MSI {
 		return fmt.Errorf("coherence: unknown protocol %d", c.Protocol)
+	}
+	if c.Shards < 0 || c.Shards&(c.Shards-1) != 0 {
+		return fmt.Errorf("coherence: shard count %d not a power of two", c.Shards)
 	}
 	return nil
 }
@@ -152,8 +166,8 @@ type Stats struct {
 	MemFetches    uint64
 }
 
-// add merges o into s.
-func (s *Stats) add(o Stats) {
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
 	s.Accesses += o.Accesses
 	s.Hits += o.Hits
 	s.ColdMisses += o.ColdMisses
@@ -188,27 +202,56 @@ type lineInfo struct {
 // way is one cache slot. The line tag is kept inline so the per-access set
 // scan compares integers in the slot array instead of chasing the lineInfo
 // pointer per way.
-type way struct {
-	line  int64
-	info  *lineInfo
-	state State
+// cpuCache is one CPU's private cache: Sets × Ways with LRU order per set
+// (most recently used last), stored struct-of-arrays. Set setIdx occupies
+// [setIdx*Ways, setIdx*Ways+n[setIdx]) in each array. Keeping the tags in
+// their own contiguous array means the hit path's MRU probe and tag scan
+// touch one or two host cache lines per set, instead of chasing a slice
+// header to a separately allocated entry array. The arrays are allocated
+// on the CPU's first access, so idle CPUs of a wide topology cost nothing;
+// after that the steady state never allocates — evictions shift in place.
+type cpuCache struct {
+	lines []int64 // tags
+	info  []*lineInfo
+	state []State
+	n     []int16 // per-set occupancy
 }
 
-// cpuCache is one CPU's private cache: Sets × Ways with LRU order per set
-// (most recently used last). Sets are allocated lazily on first touch with
-// capacity exactly Ways, so the steady state never allocates: evictions
-// shift in place and the append reuses the same backing array.
-type cpuCache struct {
-	sets [][]way
+func (c *cpuCache) init(cfg Config) {
+	c.lines = make([]int64, cfg.Sets*cfg.Ways)
+	c.info = make([]*lineInfo, len(c.lines))
+	c.state = make([]State, len(c.lines))
+	c.n = make([]int16, cfg.Sets)
 }
 
 // slabSize is how many lineInfo entries (and their three bitsets) one
 // directory slab allocation holds.
 const slabSize = 256
 
-// System is a full multiprocessor coherence domain. It is not safe for
-// concurrent use: the execution engine drives it single-threaded under a
-// virtual clock, which keeps simulations deterministic.
+// dirShard is one shard of the directory's mutable allocation state: the
+// sparse map tier and the slab pool new entries are carved from. The flat
+// directory slice is shared across shards (callers that run concurrently
+// partition lines, so distinct goroutines write distinct elements); only
+// allocation — which mutates the slab cursor and the map — takes the
+// shard's lock.
+type dirShard struct {
+	mu    sync.Mutex
+	lines map[int64]*lineInfo
+
+	// lineInfo slab pool: entries and their bitset backing are carved from
+	// chunked allocations instead of three small allocs per new line.
+	slab     []lineInfo
+	slabBits []uint64
+	slabPos  int
+}
+
+// System is a full multiprocessor coherence domain. The execution engine
+// drives it under a virtual clock, which keeps simulations deterministic.
+// It is safe for concurrent use only under the engine's partitioning
+// contract: concurrent callers must drive disjoint sets of lines (and
+// disjoint CPUs) — then directory entries, cache sets and per-CPU counters
+// are all touched by one goroutine each, and the per-shard locks serialize
+// the only shared mutation, slab/map allocation.
 type System struct {
 	topo   *machine.Topology
 	cfg    Config
@@ -217,23 +260,49 @@ type System struct {
 	// Directory. Lines below flatLines resolve through the flat slice —
 	// one load instead of a map probe on the miss path; everything else
 	// (out-of-arena addresses, tests with sparse address spaces) falls
-	// back to the map. ReserveDirectory sizes the flat region.
+	// back to the per-shard maps. ReserveDirectory sizes the flat region.
 	flat      []*lineInfo
 	flatLines int64
-	lines     map[int64]*lineInfo
 
-	// lineInfo slab pool: entries and their bitset backing are carved from
-	// chunked allocations instead of three small allocs per new line.
-	slab     []lineInfo
-	slabBits []uint64
-	slabPos  int
+	shards    []dirShard
+	shardMask int64
 
 	lineShift uint
 	setMask   int64
 	words     int // bitset words per CPU set
 
-	global Stats
+	// perCPU holds every counter; the global view is their sum. Keeping a
+	// single per-access increment (instead of the old paired per-CPU +
+	// global bump) is what lets partitioned callers run without atomics:
+	// each CPU belongs to exactly one caller.
 	perCPU []Stats
+
+	// warm is the per-CPU discard bin for Warm accesses: the transition
+	// code increments counters unconditionally (keeping the exact path
+	// branch-free), and Warm simply aims them here. Per CPU so warming
+	// obeys the same partitioning contract as Access.
+	warm []Stats
+
+	// pinned is the per-CPU bin for AccessPinned: accesses a sampled run
+	// measures in full rather than at the sampling rate (lock words). The
+	// run's extrapolation adds this stratum at weight 1 while scaling the
+	// windowed stratum, so always-measured traffic is never multiplied by
+	// the inverse sampling rate.
+	pinned []Stats
+
+	// near[cpu] partitions the other CPUs into equal-transfer-latency
+	// classes, ascending by latency, each class one bitset's worth of mask
+	// words. Scanning classes in order and taking the lowest set bit of
+	// (class ∧ sharers) yields the same CPU as bitset.nearest — the
+	// lowest-indexed minimum-latency sharer — in a handful of word ops
+	// instead of a per-sharer walk (on a 128-way box a widely shared line
+	// made every miss scan up to 128 sharers).
+	near [][]latClass
+}
+
+// latClass is one equal-latency group of CPUs relative to some home CPU.
+type latClass struct {
+	mask []uint64
 }
 
 // NewSystem builds a coherence domain over the topology.
@@ -241,30 +310,81 @@ func NewSystem(topo *machine.Topology, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
 	n := topo.NumCPUs()
 	s := &System{
-		topo:   topo,
-		cfg:    cfg,
-		caches: make([]cpuCache, n),
-		lines:  make(map[int64]*lineInfo),
-		perCPU: make([]Stats, n),
-		words:  (n + 63) / 64,
+		topo:      topo,
+		cfg:       cfg,
+		caches:    make([]cpuCache, n),
+		shards:    make([]dirShard, cfg.Shards),
+		shardMask: int64(cfg.Shards - 1),
+		perCPU:    make([]Stats, n),
+		warm:      make([]Stats, n),
+		pinned:    make([]Stats, n),
+		words:     (n + 63) / 64,
 	}
 	for i := int64(1); i < cfg.LineSize; i <<= 1 {
 		s.lineShift++
 	}
 	s.setMask = int64(cfg.Sets - 1)
-	for i := range s.caches {
-		s.caches[i].sets = make([][]way, cfg.Sets)
+	for i := range s.shards {
+		s.shards[i].lines = make(map[int64]*lineInfo)
 	}
+	s.buildNearTable(n)
 	return s, nil
+}
+
+// buildNearTable precomputes the per-CPU latency classes used by
+// nearestSharer.
+func (s *System) buildNearTable(n int) {
+	s.near = make([][]latClass, n)
+	for cpu := 0; cpu < n; cpu++ {
+		byLat := make(map[int64]bitset)
+		lats := make([]int64, 0, 4)
+		for other := 0; other < n; other++ {
+			if other == cpu {
+				continue
+			}
+			lat := s.topo.TransferLatency(other, cpu)
+			m, ok := byLat[lat]
+			if !ok {
+				m = newBitset(s.words)
+				byLat[lat] = m
+				lats = append(lats, lat)
+			}
+			m.set(other)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		classes := make([]latClass, len(lats))
+		for i, lat := range lats {
+			classes[i] = latClass{mask: byLat[lat]}
+		}
+		s.near[cpu] = classes
+	}
+}
+
+// nearestSharer returns the lowest-indexed minimum-latency member of sh
+// other than cpu, or -1 — the same answer as bitset.nearest, via the
+// precomputed class masks.
+func (s *System) nearestSharer(cpu int, sh bitset) int {
+	for ci := range s.near[cpu] {
+		mask := s.near[cpu][ci].mask
+		for w, m := range mask {
+			if v := uint64(sh[w]) & m; v != 0 {
+				return w<<6 + bits.TrailingZeros64(v)
+			}
+		}
+	}
+	return -1
 }
 
 // ReserveDirectory pre-sizes the flat directory to cover addresses in
 // [0, maxAddr]. The execution engine calls it with the top of its bump
 // allocator so every arena- and region-backed line takes the flat path;
 // addresses beyond the reservation still work through the map fallback.
-// Existing entries are preserved.
+// Existing entries are preserved. Not safe concurrently with accesses.
 func (s *System) ReserveDirectory(maxAddr int64) {
 	if maxAddr < 0 {
 		return
@@ -276,10 +396,13 @@ func (s *System) ReserveDirectory(maxAddr int64) {
 	flat := make([]*lineInfo, n)
 	copy(flat, s.flat)
 	// Migrate map entries that the grown flat region now covers.
-	for line, li := range s.lines {
-		if line >= 0 && line < n {
-			flat[line] = li
-			delete(s.lines, line)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for line, li := range sh.lines {
+			if line >= 0 && line < n {
+				flat[line] = li
+				delete(sh.lines, line)
+			}
 		}
 	}
 	s.flat, s.flatLines = flat, n
@@ -290,57 +413,88 @@ func (s *System) lookup(line int64) *lineInfo {
 	if uint64(line) < uint64(s.flatLines) {
 		return s.flat[line]
 	}
-	return s.lines[line]
-}
-
-// getOrCreate returns the directory entry for line, allocating from the
-// slab pool on first touch.
-func (s *System) getOrCreate(line int64) *lineInfo {
-	if li := s.lookup(line); li != nil {
-		return li
-	}
-	if s.slabPos == len(s.slab) {
-		s.slab = make([]lineInfo, slabSize)
-		s.slabBits = make([]uint64, slabSize*3*s.words)
-		s.slabPos = 0
-	}
-	li := &s.slab[s.slabPos]
-	base := s.slabPos * 3 * s.words
-	s.slabPos++
-	li.line = line
-	li.sharers = bitset(s.slabBits[base : base+s.words])
-	li.everCached = bitset(s.slabBits[base+s.words : base+2*s.words])
-	li.invalidated = bitset(s.slabBits[base+2*s.words : base+3*s.words])
-	li.owner = -1
-	li.lastWriter = -1
-	if uint64(line) < uint64(s.flatLines) {
-		s.flat[line] = li
-	} else {
-		if s.lines == nil {
-			s.lines = make(map[int64]*lineInfo)
-		}
-		s.lines[line] = li
-	}
+	sh := &s.shards[line&s.shardMask]
+	sh.mu.Lock()
+	li := sh.lines[line]
+	sh.mu.Unlock()
 	return li
 }
 
-// forEachLine visits every directory entry (flat and map-backed).
+// alloc carves one lineInfo (and its bitset backing) from the shard's slab
+// pool. Callers hold the shard lock.
+func (sh *dirShard) alloc(line int64, words int) *lineInfo {
+	if sh.slabPos == len(sh.slab) {
+		sh.slab = make([]lineInfo, slabSize)
+		sh.slabBits = make([]uint64, slabSize*3*words)
+		sh.slabPos = 0
+	}
+	li := &sh.slab[sh.slabPos]
+	base := sh.slabPos * 3 * words
+	sh.slabPos++
+	li.line = line
+	li.sharers = bitset(sh.slabBits[base : base+words])
+	li.everCached = bitset(sh.slabBits[base+words : base+2*words])
+	li.invalidated = bitset(sh.slabBits[base+2*words : base+3*words])
+	li.owner = -1
+	li.lastWriter = -1
+	return li
+}
+
+// getOrCreate returns the directory entry for line, allocating from the
+// line's shard on first touch. Under the partitioning contract a given
+// line is only ever created by one goroutine; the shard lock serializes
+// the slab cursor and map, the only state distinct lines share.
+func (s *System) getOrCreate(line int64) *lineInfo {
+	if uint64(line) < uint64(s.flatLines) {
+		if li := s.flat[line]; li != nil {
+			return li
+		}
+		sh := &s.shards[line&s.shardMask]
+		sh.mu.Lock()
+		li := sh.alloc(line, s.words)
+		sh.mu.Unlock()
+		s.flat[line] = li
+		return li
+	}
+	sh := &s.shards[line&s.shardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if li := sh.lines[line]; li != nil {
+		return li
+	}
+	li := sh.alloc(line, s.words)
+	sh.lines[line] = li
+	return li
+}
+
+// forEachLine visits every directory entry (flat and map-backed). Not safe
+// concurrently with accesses.
 func (s *System) forEachLine(fn func(line int64, li *lineInfo)) {
 	for line, li := range s.flat {
 		if li != nil {
 			fn(int64(line), li)
 		}
 	}
-	for line, li := range s.lines {
-		fn(line, li)
+	for i := range s.shards {
+		for line, li := range s.shards[i].lines {
+			fn(line, li)
+		}
 	}
 }
 
 // Config returns the cache geometry.
 func (s *System) Config() Config { return s.cfg }
 
-// GlobalStats returns aggregate counters.
-func (s *System) GlobalStats() Stats { return s.global }
+// GlobalStats returns aggregate counters: the sum of every CPU's. Each
+// increment lands on exactly one CPU's counters, so the sum equals what a
+// single global tally would have counted, shard mode or not.
+func (s *System) GlobalStats() Stats {
+	var g Stats
+	for i := range s.perCPU {
+		g.Add(s.perCPU[i])
+	}
+	return g
+}
 
 // CPUStats returns one CPU's counters.
 func (s *System) CPUStats(cpu int) Stats { return s.perCPU[cpu] }
@@ -348,19 +502,67 @@ func (s *System) CPUStats(cpu int) Stats { return s.perCPU[cpu] }
 // Access performs one read or write of size bytes at addr by cpu and
 // returns its outcome. Accesses that straddle a line boundary are split and
 // their latencies summed.
-func (s *System) Access(cpu int, addr int64, size int, write bool) AccessResult {
+func (s *System) Access(cpu int, addr int64, size int, write bool) (res AccessResult) {
+	s.access(cpu, addr, size, write, &s.perCPU[cpu], &res)
+	return
+}
+
+// AccessInto is Access writing its outcome into *res instead of returning
+// it, sparing the by-value result copy on the execution engine's hottest
+// call edge. *res is fully overwritten.
+func (s *System) AccessInto(cpu int, addr int64, size int, write bool, res *AccessResult) {
+	*res = AccessResult{}
+	s.access(cpu, addr, size, write, &s.perCPU[cpu], res)
+}
+
+// Warm performs the identical MESI transitions (and returns the identical
+// outcome, latency included) as Access, but records no statistics: the
+// counters land in a per-CPU discard bin. The sampled execution mode drives
+// every off-window access through here — SMARTS-style functional warming —
+// so that measured windows open on exactly the cache and directory state an
+// exact run would have, instead of a stale one whose inflated miss rate
+// would bias every extrapolated counter.
+func (s *System) Warm(cpu int, addr int64, size int, write bool) (res AccessResult) {
+	s.access(cpu, addr, size, write, &s.warm[cpu], &res)
+	return
+}
+
+// AccessPinned is Access counting into the pinned stratum instead of the
+// CPU's main counters. Sampled runs drive lock-word accesses — which are
+// always measured, whatever window is open — through here, so GlobalStats
+// covers exactly the rate-sampled accesses and PinnedStats the full-count
+// ones; the extrapolation scales only the former.
+func (s *System) AccessPinned(cpu int, addr int64, size int, write bool) (res AccessResult) {
+	s.access(cpu, addr, size, write, &s.pinned[cpu], &res)
+	return
+}
+
+// PinnedStats returns the summed pinned-stratum counters.
+func (s *System) PinnedStats() Stats {
+	var g Stats
+	for i := range s.pinned {
+		g.Add(s.pinned[i])
+	}
+	return g
+}
+
+// access fills res (which must be zeroed by the caller) with the outcome.
+// The out-parameter style keeps the hot accessLine call from copying a
+// multi-word AccessResult up through three stack frames per access.
+func (s *System) access(cpu int, addr int64, size int, write bool, st *Stats, res *AccessResult) {
 	if size <= 0 {
 		panic(fmt.Sprintf("coherence: non-positive access size %d", size))
 	}
 	line := addr >> s.lineShift
 	endLine := (addr + int64(size) - 1) >> s.lineShift
-	res := s.accessLine(cpu, line, int32(addr-line<<s.lineShift), int32(min64(addr+int64(size), (line+1)<<s.lineShift)-(line<<s.lineShift)), write)
+	s.accessLine(cpu, line, int32(addr-line<<s.lineShift), int32(min64(addr+int64(size), (line+1)<<s.lineShift)-(line<<s.lineShift)), write, st, res)
 	for l := line + 1; l <= endLine; l++ {
 		hi := int32(s.cfg.LineSize)
 		if l == endLine {
 			hi = int32(addr + int64(size) - l<<s.lineShift)
 		}
-		r2 := s.accessLine(cpu, l, 0, hi, write)
+		var r2 AccessResult
+		s.accessLine(cpu, l, 0, hi, write, st, &r2)
 		res.Latency += r2.Latency
 		res.Invalidations += r2.Invalidations
 		if r2.Miss != MissNone && res.Miss == MissNone {
@@ -371,7 +573,6 @@ func (s *System) Access(cpu int, addr int64, size int, write bool) AccessResult 
 		}
 		res.FalseSharing = res.FalseSharing || r2.FalseSharing
 	}
-	return res
 }
 
 func min64(a, b int64) int64 {
@@ -381,14 +582,20 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// accessLine handles a single-line access touching bytes [lo,hi).
-func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) AccessResult {
-	st := &s.perCPU[cpu]
+// accessLine handles a single-line access touching bytes [lo,hi), counting
+// into st (the CPU's real counters, or its warm discard bin). res must
+// arrive zeroed.
+func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool, st *Stats, res *AccessResult) {
 	st.Accesses++
-	s.global.Accesses++
+	res.Supplier = -1
 
 	setIdx := line & s.setMask
-	set := s.caches[cpu].sets[setIdx]
+	c := &s.caches[cpu]
+	if c.n == nil {
+		c.init(s.cfg)
+	}
+	base := int(setIdx) * s.cfg.Ways
+	n := int(c.n[setIdx])
 
 	// Repeat-access fast path: after any access, the line sits in the MRU
 	// slot (hits rotate it there, fills append there), and nothing another
@@ -399,103 +606,101 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 	// element is the identity. Reads hit in any state; writes keep the fast
 	// path only in Modified (nothing can change) and Exclusive (the silent
 	// E→M upgrade); a Shared write needs the directory and falls through.
-	if n := len(set); n > 0 && set[n-1].line == line {
-		w := &set[n-1]
+	if mru := base + n - 1; n > 0 && c.lines[mru] == line {
 		if !write {
 			st.Hits++
-			s.global.Hits++
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			res.Latency = s.topo.HitLatency
+			return
 		}
-		switch w.state {
+		switch c.state[mru] {
 		case Modified:
 			st.Hits++
-			s.global.Hits++
-			w.info.recordWrite(cpu, lo, hi)
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			c.info[mru].recordWrite(cpu, lo, hi)
+			res.Latency = s.topo.HitLatency
+			return
 		case Exclusive:
-			w.state = Modified
+			c.state[mru] = Modified
 			st.Hits++
-			s.global.Hits++
-			w.info.recordWrite(cpu, lo, hi)
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			c.info[mru].recordWrite(cpu, lo, hi)
+			res.Latency = s.topo.HitLatency
+			return
 		}
 	}
 
 	// Look up in this CPU's cache.
-	for i := range set {
-		if set[i].line != line {
+	for i := base; i < base+n; i++ {
+		if c.lines[i] != line {
 			continue
 		}
-		w := set[i]
-		// Present. Bump LRU.
-		copy(set[i:], set[i+1:])
-		set[len(set)-1] = w
-		li := w.info
+		li := c.info[i]
+		state := c.state[i]
+		// Present. Bump LRU: rotate the line to the MRU slot.
+		mru := base + n - 1
+		copy(c.lines[i:mru], c.lines[i+1:mru+1])
+		copy(c.info[i:mru], c.info[i+1:mru+1])
+		copy(c.state[i:mru], c.state[i+1:mru+1])
+		c.lines[mru], c.info[mru] = line, li
 		if !write {
+			c.state[mru] = state
 			st.Hits++
-			s.global.Hits++
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			res.Latency = s.topo.HitLatency
+			return
 		}
-		switch w.state {
+		switch state {
 		case Modified:
+			c.state[mru] = state
 			st.Hits++
-			s.global.Hits++
 			li.recordWrite(cpu, lo, hi)
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			res.Latency = s.topo.HitLatency
+			return
 		case Exclusive:
-			set[len(set)-1].state = Modified
+			c.state[mru] = Modified
 			st.Hits++
-			s.global.Hits++
 			li.recordWrite(cpu, lo, hi)
-			return AccessResult{Latency: s.topo.HitLatency, Supplier: -1}
+			res.Latency = s.topo.HitLatency
+			return
 		default: // Shared: upgrade
-			lat, inv := s.invalidateOthers(cpu, li)
-			set[len(set)-1].state = Modified
+			lat, inv := s.invalidateOthers(cpu, li, st)
+			c.state[mru] = Modified
 			li.owner = int32(cpu)
 			st.Upgrades++
-			s.global.Upgrades++
 			li.recordWrite(cpu, lo, hi)
 			if lat < s.topo.HitLatency {
 				lat = s.topo.HitLatency
 			}
-			return AccessResult{Latency: lat, Miss: MissUpgrade, Invalidations: inv, Supplier: -1}
+			res.Latency, res.Miss, res.Invalidations = lat, MissUpgrade, inv
+			return
 		}
 	}
 
 	// Miss path.
 	li := s.getOrCreate(line)
 
-	res := AccessResult{Supplier: -1}
 	switch {
 	case !li.everCached.get(cpu):
 		res.Miss = MissCold
 		st.ColdMisses++
-		s.global.ColdMisses++
 	case li.invalidated.get(cpu):
 		res.Miss = MissCoherence
 		st.CohMisses++
-		s.global.CohMisses++
 		if li.hasLastWrite && int(li.lastWriter) != cpu && (hi <= li.lastWriteLo || lo >= li.lastWriteHi) {
 			res.FalseSharing = true
 			res.WriterAddr = line<<s.lineShift + int64(li.lastWriteLo)
 			res.WriterLen = li.lastWriteHi - li.lastWriteLo
 			st.FalseSharing++
-			s.global.FalseSharing++
 		} else if li.hasLastWrite && int(li.lastWriter) != cpu {
 			st.TrueSharing++
-			s.global.TrueSharing++
 		}
 	default:
 		res.Miss = MissReplacement
 		st.ReplMisses++
-		s.global.ReplMisses++
 	}
 
 	var newState State
 	if write {
 		// Read-for-ownership: fetch and invalidate everyone else.
-		fetchLat := s.fetchLatency(cpu, li, &res)
-		invLat, inv := s.invalidateOthers(cpu, li)
+		fetchLat := s.fetchLatency(cpu, li, res, st)
+		invLat, inv := s.invalidateOthers(cpu, li, st)
 		if invLat > fetchLat {
 			fetchLat = invLat
 		}
@@ -505,14 +710,13 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 		li.owner = int32(cpu)
 		li.recordWrite(cpu, lo, hi)
 	} else {
-		res.Latency = s.fetchLatency(cpu, li, &res)
+		res.Latency = s.fetchLatency(cpu, li, res, st)
 		if li.owner >= 0 {
 			// Downgrade the owner to Shared; Modified data is written back.
 			ownerCPU := int(li.owner)
 			if s.downgradeOwner(ownerCPU, line) {
 				st.Writebacks++
-				s.global.Writebacks++
-			}
+				}
 			li.owner = -1
 			newState = Shared
 		} else if !li.sharers.empty() {
@@ -527,32 +731,30 @@ func (s *System) accessLine(cpu int, line int64, lo, hi int32, write bool) Acces
 		}
 	}
 
-	s.insert(cpu, setIdx, li, newState)
+	s.insert(cpu, setIdx, li, newState, st)
 	li.sharers.set(cpu)
 	li.everCached.set(cpu)
 	li.invalidated.clear(cpu)
-	return res
 }
 
 // fetchLatency computes where the line comes from and the resulting cost,
 // setting res.Supplier.
-func (s *System) fetchLatency(cpu int, li *lineInfo, res *AccessResult) int64 {
+func (s *System) fetchLatency(cpu int, li *lineInfo, res *AccessResult, st *Stats) int64 {
 	if li.owner >= 0 && int(li.owner) != cpu {
 		res.Supplier = int(li.owner)
 		return s.topo.TransferLatency(int(li.owner), cpu)
 	}
-	if nearest := li.sharers.nearest(cpu, s.topo); nearest >= 0 {
+	if nearest := s.nearestSharer(cpu, li.sharers); nearest >= 0 {
 		res.Supplier = nearest
 		return s.topo.TransferLatency(nearest, cpu)
 	}
-	s.perCPU[cpu].MemFetches++
-	s.global.MemFetches++
+	st.MemFetches++
 	return s.topo.MemLatency(cpu, li.line)
 }
 
 // invalidateOthers removes all other CPUs' copies; returns the worst-case
 // round-trip latency and the invalidation count.
-func (s *System) invalidateOthers(cpu int, li *lineInfo) (int64, int) {
+func (s *System) invalidateOthers(cpu int, li *lineInfo, st *Stats) (int64, int) {
 	var worst int64
 	count := 0
 	li.sharers.forEach(func(other int) {
@@ -569,8 +771,7 @@ func (s *System) invalidateOthers(cpu int, li *lineInfo) (int64, int) {
 		li.sharers.clear(other)
 	})
 	if count > 0 {
-		s.perCPU[cpu].Invalidations += uint64(count)
-		s.global.Invalidations += uint64(count)
+		st.Invalidations += uint64(count)
 	}
 	if int(li.owner) != cpu {
 		li.owner = -1
@@ -581,11 +782,16 @@ func (s *System) invalidateOthers(cpu int, li *lineInfo) (int64, int) {
 // downgradeOwner transitions the owner's copy M/E -> S; reports whether a
 // writeback (from M) occurred.
 func (s *System) downgradeOwner(owner int, line int64) bool {
-	set := s.caches[owner].sets[line&s.setMask]
-	for i := range set {
-		if set[i].line == line {
-			wb := set[i].state == Modified
-			set[i].state = Shared
+	c := &s.caches[owner]
+	if c.n == nil {
+		return false
+	}
+	setIdx := line & s.setMask
+	base := int(setIdx) * s.cfg.Ways
+	for i := base; i < base+int(c.n[setIdx]); i++ {
+		if c.lines[i] == line {
+			wb := c.state[i] == Modified
+			c.state[i] = Shared
 			return wb
 		}
 	}
@@ -595,11 +801,20 @@ func (s *System) downgradeOwner(owner int, line int64) bool {
 // removeLine deletes the line from a CPU's cache; reports whether it was
 // present.
 func (s *System) removeLine(cpu int, line int64) bool {
-	set := s.caches[cpu].sets[line&s.setMask]
-	for i := range set {
-		if set[i].line == line {
-			copy(set[i:], set[i+1:])
-			s.caches[cpu].sets[line&s.setMask] = set[:len(set)-1]
+	c := &s.caches[cpu]
+	if c.n == nil {
+		return false
+	}
+	setIdx := line & s.setMask
+	base := int(setIdx) * s.cfg.Ways
+	top := base + int(c.n[setIdx])
+	for i := base; i < top; i++ {
+		if c.lines[i] == line {
+			copy(c.lines[i:top-1], c.lines[i+1:top])
+			copy(c.info[i:top-1], c.info[i+1:top])
+			copy(c.state[i:top-1], c.state[i+1:top])
+			c.info[top-1] = nil
+			c.n[setIdx]--
 			return true
 		}
 	}
@@ -607,38 +822,52 @@ func (s *System) removeLine(cpu int, line int64) bool {
 }
 
 // insert places the line into the CPU's cache, evicting LRU on overflow.
-// The set keeps its fixed Ways-capacity backing array, so eviction shifts
-// in place and the append never allocates after the first touch.
-func (s *System) insert(cpu int, setIdx int64, li *lineInfo, st State) {
-	set := s.caches[cpu].sets[setIdx]
-	if set == nil {
-		set = make([]way, 0, s.cfg.Ways)
+// The set's window in the backing arrays is fixed, so eviction shifts in
+// place and the fill never allocates.
+func (s *System) insert(cpu int, setIdx int64, li *lineInfo, newState State, st *Stats) {
+	c := &s.caches[cpu]
+	if c.n == nil {
+		c.init(s.cfg)
 	}
-	if len(set) >= s.cfg.Ways {
-		victim := set[0]
-		copy(set, set[1:])
-		set = set[:len(set)-1]
-		victim.info.sharers.clear(cpu)
+	base := int(setIdx) * s.cfg.Ways
+	n := int(c.n[setIdx])
+	if n >= s.cfg.Ways {
+		victim := c.info[base]
+		victimState := c.state[base]
+		top := base + n
+		copy(c.lines[base:top-1], c.lines[base+1:top])
+		copy(c.info[base:top-1], c.info[base+1:top])
+		copy(c.state[base:top-1], c.state[base+1:top])
+		n--
+		victim.sharers.clear(cpu)
 		// Eviction is not an invalidation: the next miss is a replacement
-		// miss, so do not touch victim.info.invalidated.
-		if int(victim.info.owner) == cpu {
-			victim.info.owner = -1
-			if victim.state == Modified {
-				s.perCPU[cpu].Writebacks++
-				s.global.Writebacks++
+		// miss, so do not touch victim.invalidated.
+		if int(victim.owner) == cpu {
+			victim.owner = -1
+			if victimState == Modified {
+				st.Writebacks++
 			}
 		}
 	}
-	s.caches[cpu].sets[setIdx] = append(set, way{line: li.line, info: li, state: st})
+	c.lines[base+n] = li.line
+	c.info[base+n] = li
+	c.state[base+n] = newState
+	c.n[setIdx] = int16(n + 1)
 }
 
 // StateOf reports the MESI state of the line holding addr in the CPU's
 // cache (Invalid if absent). Intended for tests.
 func (s *System) StateOf(cpu int, addr int64) State {
 	line := addr >> s.lineShift
-	for _, w := range s.caches[cpu].sets[line&s.setMask] {
-		if w.line == line {
-			return w.state
+	c := &s.caches[cpu]
+	if c.n == nil {
+		return Invalid
+	}
+	setIdx := line & s.setMask
+	base := int(setIdx) * s.cfg.Ways
+	for i := base; i < base+int(c.n[setIdx]); i++ {
+		if c.lines[i] == line {
+			return c.state[i]
 		}
 	}
 	return Invalid
@@ -664,9 +893,14 @@ func (s *System) CheckInvariants() error {
 	}
 	holders := make(map[int64][]holder)
 	for cpu := range s.caches {
-		for _, set := range s.caches[cpu].sets {
-			for _, w := range set {
-				holders[w.line] = append(holders[w.line], holder{cpu, w.state})
+		c := &s.caches[cpu]
+		if c.n == nil {
+			continue
+		}
+		for setIdx := range c.n {
+			base := setIdx * s.cfg.Ways
+			for i := base; i < base+int(c.n[setIdx]); i++ {
+				holders[c.lines[i]] = append(holders[c.lines[i]], holder{cpu, c.state[i]})
 			}
 		}
 	}

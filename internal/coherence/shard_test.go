@@ -1,0 +1,97 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"structlayout/internal/machine"
+)
+
+// driveMixed replays one seeded access mix (reads/writes, partial-line
+// accesses, enough lines to evict in a small cache) against a system.
+func driveMixed(t *testing.T, cfg Config, reserve bool) *System {
+	t.Helper()
+	topo := machine.Bus4()
+	s := mustSystem(t, topo, cfg)
+	if reserve {
+		s.ReserveDirectory(256 * cfg.LineSize)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50000; i++ {
+		cpu := rng.Intn(topo.NumCPUs())
+		line := int64(rng.Intn(200))
+		off := int64(rng.Intn(int(cfg.LineSize)/8)) * 8 // line-interior, no straddle
+		write := rng.Intn(3) == 0
+		s.Access(cpu, line*cfg.LineSize+off, 8, write)
+	}
+	return s
+}
+
+// TestShardingByteIdentical pins the sharding contract: shard count is an
+// allocation detail, never an observable. Per-CPU stats, global stats,
+// per-line states and invariants must be byte-identical at every shard
+// count, with and without a reserved flat directory.
+func TestShardingByteIdentical(t *testing.T) {
+	topo := machine.Bus4()
+	for _, reserve := range []bool{false, true} {
+		base := driveMixed(t, SmallCache(), reserve)
+		for _, shards := range []int{1, 2, 8, 64} {
+			cfg := SmallCache()
+			cfg.Shards = shards
+			s := driveMixed(t, cfg, reserve)
+			for cpu := 0; cpu < topo.NumCPUs(); cpu++ {
+				if got, want := s.CPUStats(cpu), base.CPUStats(cpu); got != want {
+					t.Fatalf("shards=%d reserve=%v cpu %d stats %+v, unsharded %+v", shards, reserve, cpu, got, want)
+				}
+			}
+			if got, want := s.GlobalStats(), base.GlobalStats(); got != want {
+				t.Fatalf("shards=%d reserve=%v global stats %+v, unsharded %+v", shards, reserve, got, want)
+			}
+			for line := int64(0); line < 200; line++ {
+				for cpu := 0; cpu < topo.NumCPUs(); cpu++ {
+					if got, want := s.StateOf(cpu, line*cfg.LineSize), base.StateOf(cpu, line*cfg.LineSize); got != want {
+						t.Fatalf("shards=%d line %d cpu %d state %v, unsharded %v", shards, line, cpu, got, want)
+					}
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("shards=%d reserve=%v: %v", shards, reserve, err)
+			}
+		}
+	}
+}
+
+// TestGlobalStatsIsPerCPUSum: with the global counters derived rather than
+// stored, the derivation must be exact — every increment lands on exactly
+// one CPU.
+func TestGlobalStatsIsPerCPUSum(t *testing.T) {
+	s := driveMixed(t, SmallCache(), true)
+	var sum Stats
+	for cpu := 0; cpu < machine.Bus4().NumCPUs(); cpu++ {
+		sum.Add(s.CPUStats(cpu))
+	}
+	if g := s.GlobalStats(); g != sum {
+		t.Fatalf("GlobalStats %+v != per-CPU sum %+v", g, sum)
+	}
+	if g := s.GlobalStats(); g.Accesses != 50000 {
+		t.Fatalf("accesses %d, want 50000", g.Accesses)
+	}
+}
+
+// TestShardValidate rejects non-power-of-two shard counts.
+func TestShardValidate(t *testing.T) {
+	for _, bad := range []int{-1, 3, 6, 12} {
+		cfg := SmallCache()
+		cfg.Shards = bad
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("Shards=%d validated", bad)
+		}
+	}
+	for _, ok := range []int{0, 1, 2, 4, 128} {
+		cfg := SmallCache()
+		cfg.Shards = ok
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Shards=%d rejected: %v", ok, err)
+		}
+	}
+}

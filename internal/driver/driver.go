@@ -35,6 +35,13 @@ type Config struct {
 	Seed int64
 	// Sampling enables PMU collection when non-nil.
 	Sampling *sampling.Config
+	// Sim selects exact or interval-sampled simulation for measurement
+	// runs. Collection runs are always exact — the PMU trace must observe
+	// every access — so Collect zeroes this.
+	Sim exec.SimConfig
+	// Shards is the coherence-directory shard count (0 or 1 = unsharded).
+	// An allocation detail: results are byte-identical at any count.
+	Shards int
 	// Inject, when non-nil, applies the measurement-fault spec to every
 	// collection this config produces (profile and trace), so -inject is
 	// honored on the DSL/driver path exactly as on the built-in workload.
@@ -79,11 +86,20 @@ func Run(f *irtext.File, cfg Config, layouts map[string]*layout.Layout) (*exec.R
 	if len(f.Threads) == 0 {
 		return nil, fmt.Errorf("driver: program %s declares no threads", f.Prog.Name)
 	}
+	cache := cfg.Cache
+	cache.Shards = cfg.Shards
+	sim := cfg.Sim
+	if cfg.Sampling != nil {
+		// A collected run is always exact: the PMU trace must observe
+		// every access, and sampled simulation cannot drive a collector.
+		sim = exec.SimConfig{}
+	}
 	r, err := exec.NewRunner(f.Prog, exec.Config{
 		Topo:     cfg.Topo,
-		Cache:    cfg.Cache,
+		Cache:    cache,
 		Seed:     cfg.Seed,
 		Sampling: cfg.Sampling,
+		Sim:      sim,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,257 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"structlayout/internal/exec"
+	"structlayout/internal/irtext"
+	"structlayout/internal/machine"
+	"structlayout/internal/memo"
+	"structlayout/internal/parallel"
+	"structlayout/internal/workload"
+)
+
+// The sharded/sampled stress test, companion to TestConcurrentCallersMatchSerial:
+// many goroutines drive sharded group-parallel execution (unmemoized
+// driver.Run, so every call re-runs the engines), sampled measurement,
+// sharded collection and the workload suite's sharded+sampled path, racing
+// cold and warm cache states — and every result must be byte-identical to a
+// serial pass. The exact sharded runs must additionally match the unsharded
+// serial run bit-for-bit: the shard count is an allocation detail, never an
+// observable one. Run under -race this is the sharded directory's and the
+// group scheduler's data-race test.
+
+// shardProgram gives each thread its own arena instance, so threadGroups
+// splits the run into four footprint-disjoint groups that the engines
+// execute concurrently when shards are on.
+const shardProgram = `
+program shardstress
+
+struct rec {
+    r_lock i64
+    r_hot  i64
+    r_cnt  i64
+    r_pad  arr 5 8 align 8
+}
+
+proc touch {
+    lock rec.r_lock param 0
+    write rec.r_hot param 0
+    read rec.r_cnt param 0
+    write rec.r_cnt param 0
+    unlock rec.r_lock param 0
+    compute 15
+}
+
+proc worker {
+    loop 12 {
+        call touch
+    }
+}
+
+arena rec 4
+thread 0 worker params 0 iters 2
+thread 1 worker params 1 iters 2
+thread 2 worker params 2 iters 2
+thread 3 worker params 3 iters 2
+`
+
+// encodeResult canonically dumps everything a run observably produces.
+func encodeResult(res *exec.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d completed=%d threads=%v\n", res.Cycles, res.Completed, res.ThreadCycles)
+	fmt.Fprintf(&b, "coherence=%+v\n", res.Coherence)
+	refs := make([]exec.FieldRef, 0, len(res.Fields))
+	for ref := range res.Fields {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Struct != refs[j].Struct {
+			return refs[i].Struct < refs[j].Struct
+		}
+		return refs[i].Field < refs[j].Field
+	})
+	for _, ref := range refs {
+		fmt.Fprintf(&b, "%s.%d=%+v\n", ref.Struct, ref.Field, *res.Fields[ref])
+	}
+	if res.Sampled != nil {
+		fmt.Fprintf(&b, "sampled=%+v\n", *res.Sampled)
+	}
+	return b.String()
+}
+
+func shardStressCases(t *testing.T) []stressCase {
+	t.Helper()
+	topo, err := machine.ByName("way16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := irtext.Parse(shardProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []stressCase
+
+	// Unmemoized runs: exact and sampled, unsharded and sharded. Every
+	// replay re-executes the engines, so the concurrent rounds race the
+	// group-parallel scheduler itself, not just the cache.
+	sampled := exec.SimConfig{Mode: exec.SimSampled, WindowOps: 1 << 6, Period: 3}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"run/exact/shards0", Config{Topo: topo, Seed: 3}},
+		{"run/exact/shards8", Config{Topo: topo, Seed: 3, Shards: 8}},
+		{"run/sampled/shards0", Config{Topo: topo, Seed: 3, Sim: sampled}},
+		{"run/sampled/shards8", Config{Topo: topo, Seed: 3, Sim: sampled, Shards: 8}},
+	} {
+		cfg := tc.cfg
+		cases = append(cases, stressCase{
+			name: tc.name,
+			run: func() (string, error) {
+				res, err := Run(file, cfg, nil)
+				if err != nil {
+					return "", err
+				}
+				return encodeResult(res), nil
+			},
+		})
+	}
+
+	// Memoized sharded measurement, exact and sampled: replays race the
+	// single-flight cold path and then the warm memory tier.
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"measure/shards8", Config{Topo: topo, Seed: 7, Shards: 8}},
+		{"measure/sampled8", Config{Topo: topo, Seed: 7, Shards: 8, Sim: sampled}},
+	} {
+		cfg := tc.cfg
+		cases = append(cases, stressCase{
+			name: tc.name,
+			run: func() (string, error) {
+				m, err := Measure(file, cfg, nil, 3)
+				if err != nil {
+					return "", err
+				}
+				b, err := json.Marshal(m)
+				return string(b), err
+			},
+		})
+	}
+
+	// Sharded collection: the collector pins execution to one group, but
+	// the directory itself stays sharded under it.
+	ccfg := Config{Topo: topo, Seed: 5, Shards: 8}
+	cases = append(cases, stressCase{
+		name: "collect/shards8",
+		run: func() (string, error) {
+			pf, tr, cycles, err := CollectCached(file, ccfg)
+			if err != nil {
+				return "", err
+			}
+			var pbuf, tbuf strings.Builder
+			if err := pf.WriteJSON(&pbuf); err != nil {
+				return "", err
+			}
+			if err := tr.WriteJSON(&tbuf); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%d\n%s\n%s", cycles, pbuf.String(), tbuf.String()), nil
+		},
+	})
+
+	// The built-in workload with sharding and sampling on at once.
+	suite, err := workload.NewSuite(workload.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Shards = 8
+	suite.Sim = sampled
+	ls := suite.BaselineLayouts(128)
+	cases = append(cases, stressCase{
+		name: "workload/sampled8",
+		run: func() (string, error) {
+			m, err := suite.Measure(topo, ls, 2, 42)
+			if err != nil {
+				return "", err
+			}
+			b, err := json.Marshal(m)
+			return string(b), err
+		},
+	})
+	return cases
+}
+
+func TestShardedConcurrentCallersMatchSerial(t *testing.T) {
+	// The container may be single-CPU; group-parallel engines only overlap
+	// when the worker limit allows it.
+	old := parallel.Limit()
+	parallel.SetLimit(4)
+	defer parallel.SetLimit(old)
+
+	cases := shardStressCases(t)
+
+	// Serial ground truth on a cold cache.
+	memo.Shared().Clear()
+	want := make(map[string]string, len(cases))
+	for _, c := range cases {
+		got, err := c.run()
+		if err != nil {
+			t.Fatalf("serial %s: %v", c.name, err)
+		}
+		want[c.name] = got
+	}
+
+	// The shard count must be invisible in the results, in both modes.
+	if want["run/exact/shards8"] != want["run/exact/shards0"] {
+		t.Fatalf("exact sharded run differs from unsharded:\n got: %.200s\nwant: %.200s",
+			want["run/exact/shards8"], want["run/exact/shards0"])
+	}
+	if want["run/sampled/shards8"] != want["run/sampled/shards0"] {
+		t.Fatalf("sampled sharded run differs from unsharded:\n got: %.200s\nwant: %.200s",
+			want["run/sampled/shards8"], want["run/sampled/shards0"])
+	}
+
+	for round, clear := range []bool{true, false} {
+		if clear {
+			memo.Shared().Clear()
+		}
+		const workers = 16
+		var wg sync.WaitGroup
+		errs := make(chan error, workers*len(cases))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range cases {
+					c := cases[(i+w)%len(cases)]
+					got, err := c.run()
+					if err != nil {
+						errs <- fmt.Errorf("round %d worker %d %s: %w", round, w, c.name, err)
+						return
+					}
+					if got != want[c.name] {
+						errs <- fmt.Errorf("round %d worker %d %s: result differs from serial\n got: %.120s\nwant: %.120s",
+							round, w, c.name, got, want[c.name])
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}

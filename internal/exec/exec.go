@@ -17,7 +17,6 @@
 package exec
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -25,6 +24,7 @@ import (
 	"structlayout/internal/ir"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
+	"structlayout/internal/parallel"
 	"structlayout/internal/profile"
 	"structlayout/internal/sampling"
 )
@@ -46,6 +46,8 @@ type Config struct {
 	// LockHandoff is the extra cost of waking a lock waiter beyond the
 	// cache-to-cache transfer of the lock word (default 20 cycles).
 	LockHandoff int64
+	// Sim selects exact or interval-sampled simulation (zero value: exact).
+	Sim SimConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -97,12 +99,18 @@ type Result struct {
 	Fields map[FieldRef]*FieldStat
 	// ThreadCycles is each thread's finish time.
 	ThreadCycles []int64
+	// Sampled reports the extrapolation of a SimSampled run (nil for
+	// exact runs). When set, Coherence and Fields cover only the measured
+	// accesses (the sampled windows plus the always-measured lock words);
+	// Sampled.Extrapolated estimates the full population.
+	Sampled *SampledInfo
 }
 
 // arena is the line-aligned backing store of one struct type's instances.
 // It also carries the run's dense per-field statistics and lock table, so
 // the per-access hot path indexes slices instead of probing maps.
 type arena struct {
+	idx    int // position in arenaList; indexes engine stat slices
 	base   int64
 	count  int
 	stride int64
@@ -143,6 +151,10 @@ type decInstr struct {
 	fieldOff int64
 	size     int
 	inst     ir.InstExpr
+	// instIdx is the decode-resolved instance for shared-instance
+	// expressions (the index is the same for every thread); other kinds
+	// resolve through the per-thread tables (see instIndex).
+	instIdx int32
 
 	region    *regionAlloc // OpMem
 	regionIdx int32
@@ -171,7 +183,9 @@ type Runner struct {
 
 	threads []*thread
 	cpuUsed map[int]bool
-	woken   []*thread // threads released by the current step's unlock
+	nparams int // widest thread parameter list (sizes the instance tables)
+
+	sim simState
 
 	completed int64
 	ran       bool
@@ -270,6 +284,7 @@ func (r *Runner) DefineArena(lay *layout.Layout, count int) error {
 	stride := lines * r.cfg.Cache.LineSize
 	nf := len(lay.Struct.Fields)
 	a := &arena{
+		idx:    len(r.arenaList),
 		count:  count,
 		stride: stride,
 		lay:    lay,
@@ -328,39 +343,36 @@ func (r *Runner) Run() (*Result, error) {
 	if err := r.decode(); err != nil {
 		return nil, err
 	}
+	if err := r.initSim(); err != nil {
+		return nil, err
+	}
+	r.buildInstTables()
 	r.coh.ReserveDirectory(r.nextAdr)
 
-	q := &threadQueue{}
-	for _, t := range r.threads {
-		heap.Push(q, t)
+	// Partition threads into footprint-disjoint groups and run each group
+	// on its own engine. With one group (the common case outside shard
+	// mode) this is a plain serial run; with several, the groups execute
+	// concurrently — they share only the coherence system, which they
+	// drive on disjoint lines and CPUs — and their accumulators merge as
+	// commutative sums, so the result is byte-identical either way.
+	groups := r.threadGroups()
+	engines := make([]*engine, len(groups))
+	for i, ts := range groups {
+		engines[i] = r.newEngine(ts)
 	}
-	parked := 0
-	for q.Len() > 0 {
-		t := heap.Pop(q).(*thread)
-		limit := int64(1<<62 - 1)
-		if q.Len() > 0 {
-			limit = (*q)[0].time
-		}
-		if err := r.runUntil(t, limit); err != nil {
+	if len(engines) == 1 {
+		if err := engines[0].run(); err != nil {
 			return nil, err
 		}
-		// Wake anything the step released before re-queueing.
-		for _, w := range r.woken {
-			w.parked = false
-			parked--
-			heap.Push(q, w)
-		}
-		r.woken = r.woken[:0]
-		if t.parked {
-			parked++
-			continue
-		}
-		if !t.done {
-			heap.Push(q, t)
-		}
+	} else if err := parallel.ForEach(len(engines), func(i int) error {
+		return engines[i].run()
+	}); err != nil {
+		return nil, err
 	}
-	if parked > 0 {
-		return nil, fmt.Errorf("exec: deadlock: %d threads still parked", parked)
+	for _, g := range engines {
+		if err := r.merge(g); err != nil {
+			return nil, err
+		}
 	}
 
 	// Rebuild the sparse field map from the dense per-arena statistics;
@@ -388,36 +400,50 @@ func (r *Runner) Run() (*Result, error) {
 			res.Cycles = t.time
 		}
 	}
+	if r.sim.enabled {
+		res.Sampled = r.sampledInfo(res.Coherence)
+		// Fold the always-measured lock stratum into the reported raw
+		// counters: Coherence then covers every measured access, while
+		// Sampled keeps the strata apart for extrapolation.
+		res.Coherence.Add(r.coh.PinnedStats())
+	}
 	if r.collector != nil {
 		res.Trace = r.collector.Finish()
 	}
 	return res, nil
 }
 
-// runUntil advances one thread until it yields the CPU: virtual time
-// crosses limit, the thread parks on a lock, or it finishes. It is the
-// scheduling-point boundary of the superblock fast path: straight-line
-// instruction runs inside a basic block execute in the tight inner loop
-// below — one frame lookup per run instead of one full step() dispatch
-// (stack probe + frame-kind switch) per instruction — while frame
+// runUntil advances one thread until it yields the CPU: it would execute a
+// shared operation without holding the group's lexicographic-minimum
+// (time, id), it parks on a lock, it wakes another thread, or it finishes.
+// It is the scheduling-point boundary of the superblock fast path:
+// straight-line instruction runs inside a basic block execute in the tight
+// inner loop below — one frame lookup per run instead of one full step()
+// dispatch (stack probe + frame-kind switch) per instruction — while frame
 // management (sequence/loop/if bookkeeping) falls through to step().
 //
-// The yield condition is checked after every instruction, exactly where
-// the per-step scheduler checked it, so thread interleaving — and with it
-// the global order of coherence accesses — is bit-identical to the
-// one-step-at-a-time loop.
-func (r *Runner) runUntil(t *thread, limit int64) error {
+// The yield condition is checked before every instruction (see engine.run
+// for the invariant), so the global order of coherence accesses is a pure
+// function of thread time trajectories — bit-identical between the
+// superblock path, the one-step-at-a-time slow path, and any grouping.
+func (g *engine) runUntil(t *thread, limit int64) error {
+	r := g.r
 	for {
 		if n := len(t.stack); !r.slowPath && n > 0 && t.stack[n-1].kind == fBlock {
 			f := &t.stack[n-1]
 			dins := f.dins
 			for f.idx < len(dins) {
 				in := &dins[f.idx]
+				// Hoisted fast path of yieldCheck: while the thread holds
+				// the lexicographic minimum, no op can require a yield.
+				if g.key(t) > limit && g.yieldCheck(t, limit, in) {
+					return nil
+				}
 				f.idx++
-				if err := r.execInstr(t, in); err != nil {
+				if err := g.execInstr(t, in); err != nil {
 					return err
 				}
-				if t.parked || t.time > limit {
+				if t.parked || len(g.woken) > 0 {
 					return nil
 				}
 				if len(t.stack) != n {
@@ -431,10 +457,11 @@ func (r *Runner) runUntil(t *thread, limit int64) error {
 			}
 			continue
 		}
-		if err := r.step(t); err != nil {
+		yielded, err := g.step(t, limit)
+		if err != nil {
 			return err
 		}
-		if t.done || t.parked || t.time > limit {
+		if yielded || t.done || t.parked || len(g.woken) > 0 {
 			return nil
 		}
 	}
@@ -468,6 +495,9 @@ func (r *Runner) decode() error {
 				d.fieldOff = int64(a.lay.Offsets[in.Field])
 				d.size = in.Struct.Fields[in.Field].Size
 				d.inst = in.Inst
+				if in.Inst.Kind == ir.InstShared {
+					d.instIdx = int32(in.Inst.Index % a.count)
+				}
 			case ir.OpMem:
 				reg := r.regions[in.Region]
 				if reg == nil {
@@ -511,22 +541,3 @@ func mergeComputes(ds []decInstr) []decInstr {
 	return out
 }
 
-// threadQueue is a min-heap on (time, id).
-type threadQueue []*thread
-
-func (q threadQueue) Len() int { return len(q) }
-func (q threadQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].id < q[j].id
-}
-func (q threadQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *threadQueue) Push(x interface{}) { *q = append(*q, x.(*thread)) }
-func (q *threadQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	*q = old[:n-1]
-	return t
-}

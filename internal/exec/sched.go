@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/profile"
+)
+
+// engine is the execution state of one thread group: the scheduler queue
+// plus every accumulator written on the hot path (profile counts, dense
+// per-arena field stats, completion counter, wake list). Groups with
+// disjoint static footprints (see threadGroups) share nothing but the
+// coherence system — which they drive on disjoint lines and CPUs — so
+// engines can run concurrently and merge commutatively, byte-identical to
+// a serial run.
+type engine struct {
+	r       *Runner
+	threads []*thread
+
+	// idShift packs a thread's scheduling key (time, id) into one int64:
+	// time<<idShift | id. A single integer compare is then the full
+	// lexicographic order, removing the tie-break branch from every heap
+	// compare and yield check. idShift is the bit width of the group's
+	// largest thread id; timeCap guards the shift against overflow.
+	idShift uint
+	timeCap int64
+
+	prof  *profile.Profile
+	stats [][]FieldStat // per-arena (by arena.idx) field statistics
+	woken []*thread     // threads released by the current step's unlock
+
+	completed int64
+}
+
+func (r *Runner) newEngine(ts []*thread) *engine {
+	g := &engine{r: r, threads: ts, prof: profile.New(r.prog)}
+	maxID := 0
+	for _, t := range ts {
+		if t.id > maxID {
+			maxID = t.id
+		}
+	}
+	g.idShift = uint(bits.Len(uint(maxID)))
+	g.timeCap = int64(1) << (62 - g.idShift)
+	g.stats = make([][]FieldStat, len(r.arenaList))
+	for i, a := range r.arenaList {
+		g.stats[i] = make([]FieldStat, len(a.stats))
+	}
+	return g
+}
+
+// merge folds a finished engine's accumulators into the runner. Every
+// accumulator is a commutative sum, so merge order cannot affect results.
+func (r *Runner) merge(g *engine) error {
+	r.completed += g.completed
+	for i, a := range r.arenaList {
+		for fi := range g.stats[i] {
+			s, d := &g.stats[i][fi], &a.stats[fi]
+			d.Accesses += s.Accesses
+			d.Misses += s.Misses
+			d.CohMisses += s.CohMisses
+			d.Upgrades += s.Upgrades
+			d.FalseSharing += s.FalseSharing
+			d.CausedFalseSharing += s.CausedFalseSharing
+			d.StallCycles += s.StallCycles
+		}
+	}
+	return r.prof.Merge(g.prof)
+}
+
+// key packs a thread's (time, id) into its single-compare scheduling key.
+func (g *engine) key(t *thread) int64 {
+	return t.time<<g.idShift | int64(t.id)
+}
+
+// run executes the group's threads to completion.
+//
+// Scheduling invariant: a shared operation (lock/unlock always; field and
+// region accesses unless sampled off-window) executes only when its
+// thread's pre-op (time, id) is the lexicographic minimum over the group's
+// runnable threads. Non-shared operations (compute, calls, control
+// bookkeeping, off-window accesses) never yield — they are invisible to
+// other threads, so executing them past the limit commutes with everything.
+// The order of shared operations is therefore a pure function of the
+// threads' virtual-time trajectories, independent of yield granularity and
+// of whatever other groups do — which is what makes group-parallel
+// execution byte-identical to serial.
+func (g *engine) run() error {
+	q := make(tq, 0, len(g.threads))
+	for _, t := range g.threads {
+		q.push(g.key(t), t)
+	}
+	parked := 0
+	for len(q) > 0 {
+		t := q[0].t
+		limit := int64(1<<63 - 1)
+		if len(q) > 1 {
+			// The limit is the next-smallest key: the lesser child of the
+			// heap root.
+			limit = q[1].key
+			if len(q) > 2 && q[2].key < limit {
+				limit = q[2].key
+			}
+		}
+		if err := g.runUntil(t, limit); err != nil {
+			return err
+		}
+		if t.time >= g.timeCap {
+			// Unreachable in practice (2^55 cycles for a 128-thread group);
+			// fail loudly rather than let the packed key wrap.
+			return fmt.Errorf("exec: thread %d virtual time %d exceeds scheduler cap %d", t.id, t.time, g.timeCap)
+		}
+		switch {
+		case t.done:
+			q.popRoot()
+		case t.parked:
+			q.popRoot()
+			parked++
+		default:
+			q.syncRoot(g.key(t))
+		}
+		// Re-queue anything the step released. runUntil returns the moment
+		// a wake happens, so the next iteration's limit includes the woken
+		// thread — without this, the running thread could race past it.
+		for _, w := range g.woken {
+			w.parked = false
+			parked--
+			q.push(g.key(w), w)
+		}
+		g.woken = g.woken[:0]
+	}
+	if parked > 0 {
+		return fmt.Errorf("exec: deadlock: %d threads still parked", parked)
+	}
+	return nil
+}
+
+// yieldCheck reports whether the thread must yield before executing in: its
+// pre-op key (time, id) is no longer the group minimum AND the op is shared.
+// Off-window accesses in sampled mode get a bounded dispensation instead of
+// a full exemption: they may run up to simSlack cycles past the limit
+// before yielding. The slack is what buys the speedup (the thread crosses
+// the scheduler once per slack span instead of once per access), and its
+// bound is what contains the model error — a warm write can commit at most
+// simSlack cycles of virtual time earlier than exact order, so it cannot
+// invalidate a line a far-future reader would have hit.
+func (g *engine) yieldCheck(t *thread, limit int64, in *decInstr) bool {
+	if g.key(t) <= limit {
+		return false
+	}
+	switch in.op {
+	case ir.OpField, ir.OpMem:
+		if g.r.sim.enabled && !g.r.simOn(t) {
+			return t.time > limit>>g.idShift+g.r.sim.slack
+		}
+		return true
+	case ir.OpLock, ir.OpUnlock:
+		return true
+	}
+	return false
+}
+
+// tq is an inline binary min-heap on packed (time, id) keys. It replaces
+// container/heap on the scheduler's hottest edge: the common transition
+// "root ran, root's time grew" is one sift-down with no interface calls.
+// The keys live inline in the heap entries — a 128-thread group's whole
+// heap is a few cache lines of contiguous keys — so sifting never chases
+// thread pointers; only the root's key is refreshed (syncRoot) after its
+// thread runs. Binary beats higher arity here: the root's key typically
+// grows only just past the lesser child (the scheduling limit), so sifts
+// terminate after a level or two and wider nodes only add compares.
+type tqEnt struct {
+	key int64 // engine.key(t): time<<idShift | id
+	t   *thread
+}
+
+type tq []tqEnt
+
+func (q *tq) push(key int64, t *thread) {
+	*q = append(*q, tqEnt{key: key, t: t})
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[i].key >= h[p].key {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// syncRoot refreshes the root's key and restores heap order (the key can
+// only have grown).
+func (q tq) syncRoot(key int64) {
+	q[0].key = key
+	q.fixRoot()
+}
+
+// fixRoot restores heap order after the root's key increased. The sift
+// moves a hole down and writes the displaced entry once at the end: after
+// a long-latency miss the root sinks most of the way to the bottom, and
+// the hole form does one entry store per level where a swap does three.
+func (q tq) fixRoot() {
+	n := len(q)
+	if n < 2 {
+		return
+	}
+	ent := q[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q[r].key < q[l].key {
+			m = r
+		}
+		if q[m].key >= ent.key {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = ent
+}
+
+func (q *tq) popRoot() {
+	h := *q
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = tqEnt{}
+	*q = h[:n]
+	if n > 1 {
+		(*q).fixRoot()
+	}
+}

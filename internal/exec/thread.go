@@ -53,6 +53,60 @@ type thread struct {
 
 	done   bool
 	parked bool
+
+	// Sampled-mode state (see sim.go): the access counter that clocks the
+	// sampling windows, the cached decision for the current window, and
+	// the count of off-window (warmed, unmeasured) accesses.
+	ops     int64 // memory accesses issued, the sampling clock
+	winEnd  int64
+	winOn   bool
+	simSeed uint64 // per-thread window-schedule seed
+	offOps  uint64
+
+	// Precomputed instance tables (buildInstTables): a thread's per-CPU
+	// and parameter-indexed arena instances are fixed for the whole run,
+	// so the access hot path replaces the per-access modulo with a load.
+	instPerCPU []int32 // by arena.idx
+	instParam  []int32 // by arena.idx*Runner.nparams + param index
+}
+
+// buildInstTables fills every thread's instance tables. Called once at Run
+// start, after arenas and threads are final.
+func (r *Runner) buildInstTables() {
+	for _, t := range r.threads {
+		if len(t.params) > r.nparams {
+			r.nparams = len(t.params)
+		}
+	}
+	for _, t := range r.threads {
+		t.instPerCPU = make([]int32, len(r.arenaList))
+		t.instParam = make([]int32, len(r.arenaList)*r.nparams)
+		for _, a := range r.arenaList {
+			t.instPerCPU[a.idx] = int32(t.cpu % a.count)
+			for p, v := range t.params {
+				t.instParam[a.idx*r.nparams+p] = int32(v % a.count)
+			}
+		}
+	}
+}
+
+// instIndex resolves a decoded instruction's instance: shared instances
+// were resolved at decode, per-CPU and parameter instances come from the
+// thread's tables, and only loop-variable instances (which change every
+// iteration) take the generic path.
+func (r *Runner) instIndex(t *thread, a *arena, in *decInstr) (int, error) {
+	switch in.inst.Kind {
+	case ir.InstShared:
+		return int(in.instIdx), nil
+	case ir.InstPerCPU:
+		return int(t.instPerCPU[a.idx]), nil
+	case ir.InstParam:
+		if in.inst.Index >= len(t.params) {
+			return 0, fmt.Errorf("exec: thread %d has no param %d", t.id, in.inst.Index)
+		}
+		return int(t.instParam[a.idx*r.nparams+in.inst.Index]), nil
+	}
+	return r.resolveInstance(t, a, in.inst)
 }
 
 func (t *thread) pushSeq(nodes []ir.ExecNode) {
@@ -61,52 +115,54 @@ func (t *thread) pushSeq(nodes []ir.ExecNode) {
 
 // step advances the thread by one interpreter action (typically one
 // instruction). It updates profile counts, virtual time, coherence state
-// and samples as side effects.
-func (r *Runner) step(t *thread) error {
+// and samples as side effects. It returns true when the thread must yield
+// before a shared instruction it no longer has the right to execute.
+func (g *engine) step(t *thread, limit int64) (bool, error) {
+	r := g.r
 	if len(t.stack) == 0 {
 		// One top-level iteration ("script") finished.
-		r.completed++
+		g.completed++
 		t.iters--
 		if t.iters <= 0 {
 			t.done = true
-			return nil
+			return false, nil
 		}
 		t.pushSeq(t.entry.Tree)
-		return nil
+		return false, nil
 	}
 	f := &t.stack[len(t.stack)-1]
 	switch f.kind {
 	case fSeq:
 		if f.idx >= len(f.nodes) {
 			t.pop()
-			return nil
+			return false, nil
 		}
 		n := f.nodes[f.idx]
 		f.idx++
 		switch n := n.(type) {
 		case *ir.ExecBlock:
-			r.prof.IncrBlock(n.Block.Global)
+			g.prof.IncrBlock(n.Block.Global)
 			t.curBlock = n.Block
 			if len(n.Block.Instrs) == 0 {
 				t.time += r.cfg.BranchCost
-				r.sample(t)
+				g.sample(t)
 			} else if dins := r.dec[n.Block.Global]; !r.slowPath && r.collector == nil && len(dins) == 1 && dins[0].op == ir.OpCompute {
 				// A pure-compute block (decode merged its instructions into
 				// one) needs no frame: charge its cycles at entry. Invisible
-				// to scheduling — the yield check still runs right after.
+				// to scheduling — computes never yield.
 				t.time += dins[0].cycles
 			} else {
 				t.stack = append(t.stack, frame{kind: fBlock, block: n.Block, dins: dins})
 			}
 		case *ir.ExecLoop:
-			r.prof.AddLoop(n.Loop.Global, n.Count)
+			g.prof.AddLoop(n.Loop.Global, n.Count)
 			t.stack = append(t.stack, frame{kind: fLoop, loop: n})
 			t.loopVals = append(t.loopVals, 0)
 		case *ir.ExecIf:
-			r.prof.IncrBlock(n.Cond.Global)
+			g.prof.IncrBlock(n.Cond.Global)
 			t.curBlock = n.Cond
 			t.time += r.cfg.BranchCost
-			r.sample(t)
+			g.sample(t)
 			arm := n.Then
 			if t.rng.Float64() >= n.Prob {
 				arm = n.Else
@@ -114,14 +170,14 @@ func (r *Runner) step(t *thread) error {
 			t.stack = append(t.stack, frame{kind: fIf, ifn: n})
 			t.pushSeq(arm)
 		default:
-			return fmt.Errorf("exec: unknown node %T", n)
+			return false, fmt.Errorf("exec: unknown node %T", n)
 		}
 	case fLoop:
 		// Each visit is one header test.
-		r.prof.IncrBlock(f.loop.Loop.Header.Global)
+		g.prof.IncrBlock(f.loop.Loop.Header.Global)
 		t.curBlock = f.loop.Loop.Header
 		t.time += r.cfg.BranchCost
-		r.sample(t)
+		g.sample(t)
 		if f.iter < f.loop.Count {
 			t.loopVals[len(t.loopVals)-1] = f.iter
 			f.iter++
@@ -131,29 +187,32 @@ func (r *Runner) step(t *thread) error {
 			t.pop()
 		}
 	case fIf:
-		r.prof.IncrBlock(f.ifn.Join.Global)
+		g.prof.IncrBlock(f.ifn.Join.Global)
 		t.curBlock = f.ifn.Join
 		t.time += r.cfg.BranchCost
-		r.sample(t)
+		g.sample(t)
 		t.pop()
 	case fBlock:
 		if f.idx >= len(f.dins) {
 			t.pop()
-			return nil
+			return false, nil
 		}
 		in := &f.dins[f.idx]
+		if g.yieldCheck(t, limit, in) {
+			return true, nil
+		}
 		f.idx++
-		return r.execInstr(t, in)
+		return false, g.execInstr(t, in)
 	}
-	return nil
+	return false, nil
 }
 
 func (t *thread) pop() { t.stack = t.stack[:len(t.stack)-1] }
 
 // sample lets the collector observe the thread's new time.
-func (r *Runner) sample(t *thread) {
-	if r.collector != nil {
-		r.collector.Tick(t.cpu, t.time, t.curBlock)
+func (g *engine) sample(t *thread) {
+	if g.r.collector != nil {
+		g.r.collector.Tick(t.cpu, t.time, t.curBlock)
 	}
 }
 
@@ -181,38 +240,56 @@ func (r *Runner) resolveInstance(t *thread, a *arena, e ir.InstExpr) (int, error
 
 // execInstr runs one pre-decoded instruction, charging latency and
 // recording stats.
-func (r *Runner) execInstr(t *thread, in *decInstr) error {
+func (g *engine) execInstr(t *thread, in *decInstr) error {
+	r := g.r
 	switch in.op {
 	case ir.OpCompute:
 		t.time += in.cycles
-		r.sample(t)
+		g.sample(t)
 	case ir.OpCall:
 		t.time += r.cfg.CallOverhead
 		t.pushSeq(in.callee.Tree)
-		r.sample(t)
+		g.sample(t)
 	case ir.OpField:
 		a := in.arena
-		idx, err := r.resolveInstance(t, a, in.inst)
+		idx, err := r.instIndex(t, a, in)
 		if err != nil {
 			return err
 		}
 		addr := a.base + int64(idx)*a.stride + in.fieldOff
-		res := r.coh.Access(t.cpu, addr, in.size, in.write)
+		if r.sim.enabled && !r.simNext(t) {
+			// Off-window: functional warming. The MESI transition (and its
+			// real latency) happens; only the statistics are discarded, so
+			// the next measured window opens on exact-run cache state.
+			res := r.coh.Warm(t.cpu, addr, in.size, in.write)
+			t.time += res.Latency
+			t.offOps++
+			return nil
+		}
+		var res coherence.AccessResult
+		r.coh.AccessInto(t.cpu, addr, in.size, in.write, &res)
 		t.time += res.Latency
-		r.record(a, in.field, res.Latency, res)
-		r.sample(t)
+		g.record(a, in.field, &res)
+		g.sample(t)
 	case ir.OpMem:
 		addr, err := r.memAddr(t, in)
 		if err != nil {
 			return err
 		}
-		res := r.coh.Access(t.cpu, addr, 8, in.write)
+		if r.sim.enabled && !r.simNext(t) {
+			res := r.coh.Warm(t.cpu, addr, 8, in.write)
+			t.time += res.Latency
+			t.offOps++
+			return nil
+		}
+		var res coherence.AccessResult
+		r.coh.AccessInto(t.cpu, addr, 8, in.write, &res)
 		t.time += res.Latency
-		r.sample(t)
+		g.sample(t)
 	case ir.OpLock:
-		return r.execLock(t, in)
+		return g.execLock(t, in)
 	case ir.OpUnlock:
-		return r.execUnlock(t, in)
+		return g.execUnlock(t, in)
 	default:
 		return fmt.Errorf("exec: unknown opcode %d", in.op)
 	}
@@ -250,11 +327,22 @@ func (r *Runner) memAddr(t *thread, in *decInstr) (int64, error) {
 	return base + off, nil
 }
 
+// lockAccess performs a lock-word access. In sampled mode these are always
+// measured whatever window is open, so they form their own stratum
+// (coherence.AccessPinned): the extrapolation adds them at weight 1 instead
+// of multiplying them by the window stratum's inverse sampling rate.
+func (r *Runner) lockAccess(cpu int, addr int64, size int, write bool) coherence.AccessResult {
+	if r.sim.enabled {
+		return r.coh.AccessPinned(cpu, addr, size, write)
+	}
+	return r.coh.Access(cpu, addr, size, write)
+}
+
 // lockFor resolves the lock state and lock-word address for a lock/unlock
 // instruction.
 func (r *Runner) lockFor(t *thread, in *decInstr) (*lockState, int64, error) {
 	a := in.arena
-	idx, err := r.resolveInstance(t, a, in.inst)
+	idx, err := r.instIndex(t, a, in)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -268,17 +356,18 @@ func (r *Runner) lockFor(t *thread, in *decInstr) (*lockState, int64, error) {
 // waiter. Every acquisition dirties the lock's line, so co-locating a hot
 // lock with read-mostly fields produces exactly the false-sharing traffic
 // the paper's CycleLoss term is meant to catch.
-func (r *Runner) execLock(t *thread, in *decInstr) error {
+func (g *engine) execLock(t *thread, in *decInstr) error {
+	r := g.r
 	ls, addr, err := r.lockFor(t, in)
 	if err != nil {
 		return err
 	}
 	if ls.holder == nil {
 		ls.holder = t
-		res := r.coh.Access(t.cpu, addr, in.size, true)
+		res := r.lockAccess(t.cpu, addr, in.size, true)
 		t.time += res.Latency
-		r.record(in.arena, in.field, res.Latency, res)
-		r.sample(t)
+		g.record(in.arena, in.field, &res)
+		g.sample(t)
 		return nil
 	}
 	if ls.holder == t {
@@ -289,8 +378,11 @@ func (r *Runner) execLock(t *thread, in *decInstr) error {
 	return nil
 }
 
-// execUnlock releases the lock and wakes the next waiter.
-func (r *Runner) execUnlock(t *thread, in *decInstr) error {
+// execUnlock releases the lock and wakes the next waiter. Waking makes the
+// caller's runUntil return immediately, so the scheduler recomputes its
+// limit with the woken thread back in the queue.
+func (g *engine) execUnlock(t *thread, in *decInstr) error {
+	r := g.r
 	ls, addr, err := r.lockFor(t, in)
 	if err != nil {
 		return err
@@ -298,10 +390,10 @@ func (r *Runner) execUnlock(t *thread, in *decInstr) error {
 	if ls.holder != t {
 		return fmt.Errorf("exec: thread %d releases lock %s.%d it does not hold", t.id, in.arena.name, in.field)
 	}
-	res := r.coh.Access(t.cpu, addr, in.size, true)
+	res := r.lockAccess(t.cpu, addr, in.size, true)
 	t.time += res.Latency
-	r.record(in.arena, in.field, res.Latency, res)
-	r.sample(t)
+	g.record(in.arena, in.field, &res)
+	g.sample(t)
 
 	if len(ls.waiters) == 0 {
 		ls.holder = nil
@@ -316,21 +408,22 @@ func (r *Runner) execUnlock(t *thread, in *decInstr) error {
 		wake = w.time
 	}
 	w.time = wake
-	wres := r.coh.Access(w.cpu, addr, in.size, true)
+	wres := r.lockAccess(w.cpu, addr, in.size, true)
 	w.time += wres.Latency
-	r.record(in.arena, in.field, wres.Latency, wres)
+	g.record(in.arena, in.field, &wres)
 	if r.collector != nil {
 		r.collector.Tick(w.cpu, w.time, w.curBlock)
 	}
-	r.woken = append(r.woken, w)
+	g.woken = append(g.woken, w)
 	return nil
 }
 
-// record attributes an access result to the field's statistics.
-func (r *Runner) record(a *arena, field int32, latency int64, res coherence.AccessResult) {
-	fs := &a.stats[field]
+// record attributes an access result to the field's statistics in the
+// engine's group-local slices.
+func (g *engine) record(a *arena, field int32, res *coherence.AccessResult) {
+	fs := &g.stats[a.idx][field]
 	fs.Accesses++
-	fs.StallCycles += latency
+	fs.StallCycles += res.Latency
 	switch res.Miss {
 	case coherence.MissNone:
 	case coherence.MissUpgrade:
@@ -344,9 +437,10 @@ func (r *Runner) record(a *arena, field int32, latency int64, res coherence.Acce
 	if res.FalseSharing {
 		fs.FalseSharing++
 		// Attribute the causing write to its field too, when it lands in a
-		// known arena.
-		if ca, fi := r.fieldAtAddr(res.WriterAddr); ca != nil {
-			ca.stats[fi].CausedFalseSharing++
+		// known arena. The writer's line is in this group's footprint, so
+		// the group-local slice is the right accumulator.
+		if ca, fi := g.r.fieldAtAddr(res.WriterAddr); ca != nil {
+			g.stats[ca.idx][fi].CausedFalseSharing++
 		}
 	}
 }

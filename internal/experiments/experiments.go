@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"structlayout/internal/core"
+	"structlayout/internal/exec"
 	"structlayout/internal/flg"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
@@ -38,6 +39,14 @@ type Config struct {
 	Runs int
 	// BaseSeed seeds the whole reproduction.
 	BaseSeed int64
+	// Sim selects exact or interval-sampled simulation for measurement
+	// runs. Collection is always exact regardless (the PMU trace must
+	// observe every access). Sampled figures carry extrapolated counts and
+	// memoize under distinct keys from exact ones.
+	Sim exec.SimConfig
+	// Shards is the coherence-directory shard count for every run
+	// (0 or 1 = unsharded). Results are byte-identical at any count.
+	Shards int
 	// Tool configures the layout tool.
 	Tool core.Options
 }
@@ -87,6 +96,8 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	suite.Sim = cfg.Sim
+	suite.Shards = cfg.Shards
 	lineSize := int(cfg.Params.Cache.LineSize)
 	baselines := suite.BaselineLayouts(lineSize)
 
@@ -99,6 +110,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Collection runs sharded too (byte-identical), but never sampled:
+	// the suite zeroes Sim whenever a collector is attached.
+	collectSuite.Shards = cfg.Shards
 	pf, trace, err := collectSuite.Collect(cfg.CollectTopo, collectSuite.BaselineLayouts(lineSize), cfg.BaseSeed)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: collection: %w", err)

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"structlayout/internal/exec"
+)
+
+// SimCheckBound is the documented error bound for interval-sampled
+// simulation, asserted by the simcheck harness and CI: every figure-suite
+// cell's sampled mean throughput must land within this relative error of
+// the exact measurement. The bound follows from the error model in
+// docs/PERF.md: completed-script counts are exact under sampling (every
+// thread runs to completion), so throughput error is cycle-estimation
+// error only — the EWMA latency estimate charged to off-window accesses —
+// which stays in the low single digits of percent on the SDET mix; 10%
+// leaves margin for adversarial layouts.
+const SimCheckBound = 0.10
+
+// SimCheckCell is one figure-suite measurement compared across modes.
+type SimCheckCell struct {
+	Figure string
+	Label  string
+	// Name is "baseline" or the layout name ("auto", "hotness", "best").
+	Name string
+	// Exact and Sampled are the mean throughputs (scripts/hour).
+	Exact   float64
+	Sampled float64
+	// RelErr is |Sampled-Exact|/Exact.
+	RelErr float64
+}
+
+// SimCheckResult is the differential validation of sampled mode against
+// exact on the full figure suite.
+type SimCheckResult struct {
+	Cells []SimCheckCell
+	// MaxRelErr is the worst cell's relative throughput error.
+	MaxRelErr float64
+	// Bound is the asserted limit (SimCheckBound).
+	Bound float64
+}
+
+// Pass reports whether every cell stayed within the bound.
+func (r *SimCheckResult) Pass() bool { return r.MaxRelErr <= r.Bound }
+
+// Err returns nil when the check passes, else a descriptive error naming
+// the worst cell.
+func (r *SimCheckResult) Err() error {
+	if r.Pass() {
+		return nil
+	}
+	worst := r.worst()
+	return fmt.Errorf("simcheck: sampled mode exceeded the %.0f%% bound: %s %s/%s off by %.1f%% (exact %.0f, sampled %.0f)",
+		r.Bound*100, worst.Figure, worst.Label, worst.Name, worst.RelErr*100, worst.Exact, worst.Sampled)
+}
+
+func (r *SimCheckResult) worst() SimCheckCell {
+	var w SimCheckCell
+	for _, c := range r.Cells {
+		if c.RelErr >= w.RelErr {
+			w = c
+		}
+	}
+	return w
+}
+
+// String renders the per-figure summary.
+func (r *SimCheckResult) String() string {
+	s := fmt.Sprintf("simcheck: %d cells, max relative throughput error %.2f%% (bound %.0f%%)\n",
+		len(r.Cells), r.MaxRelErr*100, r.Bound*100)
+	byFig := map[string]*SimCheckCell{}
+	var order []string
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if w, ok := byFig[c.Figure]; !ok || c.RelErr > w.RelErr {
+			if !ok {
+				order = append(order, c.Figure)
+			}
+			byFig[c.Figure] = c
+		}
+	}
+	for _, fig := range order {
+		c := byFig[fig]
+		s += fmt.Sprintf("  %-10s worst cell %s/%-8s %.2f%%  (exact %.0f vs sampled %.0f scripts/hour)\n",
+			fig, c.Label, c.Name, c.RelErr*100, c.Exact, c.Sampled)
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return s + verdict + "\n"
+}
+
+// SimCheck validates interval-sampled simulation differentially against
+// exact on the full figure suite: both modes run the identical pipeline
+// (the collection is exact in both — sampling never drives PMU
+// collection), and every measured cell's throughput is compared. The
+// sampled run memoizes under distinct keys by construction, so this
+// doubles as a test that the two modes never share cache entries: a key
+// collision would zero every cell's error, which the caller can detect
+// via MaxRelErr > 0 on any nontrivial configuration.
+func SimCheck(cfg Config) (*SimCheckResult, error) {
+	exactCfg := cfg
+	exactCfg.Sim = exec.SimConfig{}
+	sampledCfg := cfg
+	sampledCfg.Sim = exec.SimConfig{Mode: exec.SimSampled}
+
+	figs := func(c Config) ([]*Figure, error) {
+		p, err := NewPipeline(c)
+		if err != nil {
+			return nil, err
+		}
+		f8, err := p.Fig8()
+		if err != nil {
+			return nil, err
+		}
+		f9, err := p.Fig9()
+		if err != nil {
+			return nil, err
+		}
+		f10, err := p.Fig10()
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{f8, f9, f10}, nil
+	}
+	exactFigs, err := figs(exactCfg)
+	if err != nil {
+		return nil, fmt.Errorf("simcheck exact: %w", err)
+	}
+	sampledFigs, err := figs(sampledCfg)
+	if err != nil {
+		return nil, fmt.Errorf("simcheck sampled: %w", err)
+	}
+
+	res := &SimCheckResult{Bound: SimCheckBound}
+	for i, ef := range exactFigs {
+		sf := sampledFigs[i]
+		for j, er := range ef.Rows {
+			sr := sf.Rows[j]
+			res.add(ef.Name, er.Label, "baseline", er.Baseline, sr.Baseline)
+			for name, epct := range er.Pct {
+				spct, ok := sr.Pct[name]
+				if !ok {
+					continue
+				}
+				// Recover the cell's absolute throughput from the speedup:
+				// comparing throughputs keeps the metric well-conditioned
+				// where the speedups themselves hover near zero.
+				res.add(ef.Name, er.Label, name,
+					er.Baseline*(1+epct/100), sr.Baseline*(1+spct/100))
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *SimCheckResult) add(fig, label, name string, exact, sampled float64) {
+	if exact == 0 {
+		return
+	}
+	rel := math.Abs(sampled-exact) / exact
+	r.Cells = append(r.Cells, SimCheckCell{
+		Figure: fig, Label: label, Name: name,
+		Exact: exact, Sampled: sampled, RelErr: rel,
+	})
+	if rel > r.MaxRelErr {
+		r.MaxRelErr = rel
+	}
+}

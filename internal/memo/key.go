@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"structlayout/internal/coherence"
+	"structlayout/internal/exec"
 	"structlayout/internal/faults"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
@@ -133,6 +134,18 @@ func (h *Hasher) CacheConfig(tag string, c coherence.Config) {
 	h.Int(tag+".sets", int64(c.Sets))
 	h.Int(tag+".ways", int64(c.Ways))
 	h.Int(tag+".protocol", int64(c.Protocol))
+}
+
+// SimConfig adds the simulation mode and its sampling parameters. The
+// coherence shard count is deliberately not part of any key: sharding is
+// byte-identical by contract (pinned by the exec/coherence differential
+// tests), so sharded and unsharded runs share cache entries, whereas a
+// sampled result must never collide with an exact one.
+func (h *Hasher) SimConfig(tag string, c exec.SimConfig) {
+	h.Int(tag+".mode", int64(c.Mode))
+	h.Int(tag+".window", c.WindowOps)
+	h.Int(tag+".period", c.Period)
+	h.Int(tag+".seed", c.Seed)
 }
 
 // FaultSpec adds a fault-injection spec via its canonical String form

@@ -39,7 +39,13 @@ import (
 
 // SchemaVersion invalidates every previously cached entry when the meaning
 // or encoding of cached values changes. It is hashed into every key.
-const SchemaVersion = 1
+//
+// Version history:
+//   - 2: measurement keys carry the simulation mode and sampling
+//     parameters, and the scheduler's strict (time, id) shared-operation
+//     ordering changed every simulated interleaving.
+//   - 1: initial schema.
+const SchemaVersion = 2
 
 // Stats counts cache outcomes. Counters only increase; subtract two
 // snapshots to attribute traffic to a pipeline stage.

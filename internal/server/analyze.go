@@ -13,6 +13,7 @@ import (
 	"structlayout/internal/core"
 	"structlayout/internal/diag"
 	"structlayout/internal/driver"
+	"structlayout/internal/exec"
 	"structlayout/internal/faults"
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/flg"
@@ -59,6 +60,12 @@ type AnalyzeRequest struct {
 	// Inject is a measurement-fault spec (docs/FAULTS.md) applied to the
 	// collection, e.g. "loss=0.3,seed=7".
 	Inject string `json:"inject,omitempty"`
+	// Sim selects the measurement simulation mode: "exact" (default) or
+	// "sampled" (interval-sampled, extrapolated; faster but approximate).
+	// Collection is always exact — only the optional MeasureRuns
+	// measurements are affected. Sampled responses carry a sim-sampled
+	// diagnostic.
+	Sim string `json:"sim,omitempty"`
 	// DeadlineMS is the request deadline; 0 means the server default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// MeasureRuns > 0 additionally measures each suggested layout over
@@ -272,6 +279,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-mode", fmt.Sprintf("unknown mode %q (auto|best|both)", mode))
 		return
 	}
+	simMode, err := exec.ParseSimMode(req.Sim)
+	if err != nil {
+		s.badRequest.Add(1)
+		writeError(w, http.StatusBadRequest, "bad-sim", err.Error())
+		return
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
@@ -409,7 +422,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		ev, merr := driver.EvaluateCtx(ctx, file, cfg, nil, autos, req.MeasureRuns, analysis.Quality)
+		// The sim mode applies to measurement only; the collection rungs
+		// above always ran exact (the PMU trace must observe every access).
+		mcfg := cfg
+		mcfg.Sim = exec.SimConfig{Mode: simMode}
+		if simMode == exec.SimSampled {
+			// Sampled results are approximate and memoize under distinct
+			// keys; label the response so no client mistakes the measured
+			// speedups for exact ones.
+			analysis.Diag.Add(diag.Info, "server", "sim-sampled",
+				"measurements ran interval-sampled (extrapolated, approximate); re-request with sim=exact for exact counts")
+		}
+		ev, merr := driver.EvaluateCtx(ctx, file, mcfg, nil, autos, req.MeasureRuns, analysis.Quality)
 		if merr != nil {
 			analysis.Diag.Add(diag.Degraded, "server", "measure-deadline",
 				"measurement abandoned (%v); layouts delivered without measured speedups", merr)

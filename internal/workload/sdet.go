@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"structlayout/internal/coherence"
+	"structlayout/internal/exec"
 	"structlayout/internal/ir"
 )
 
@@ -106,6 +107,16 @@ type Suite struct {
 	Prog    *ir.Program
 	Params  Params
 	byLabel map[string]*KernelStruct
+
+	// Sim selects exact or interval-sampled simulation for Measure runs.
+	// Collections ignore it (the PMU trace needs every access). Sampled
+	// measurements are keyed separately in the memo cache — they can
+	// never silently replace exact results.
+	Sim exec.SimConfig
+	// Shards is the coherence directory shard count (0 means 1). Shard
+	// counts are an allocation detail — results are byte-identical at any
+	// value — so Shards is deliberately absent from memo keys.
+	Shards int
 }
 
 // NewSuite builds the SDET-like program over structs A..E.
