@@ -21,16 +21,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"structlayout/internal/core"
+	"structlayout/internal/diag"
 	"structlayout/internal/driver"
 	"structlayout/internal/exec"
 	"structlayout/internal/faults"
 	"structlayout/internal/fieldmap"
 	"structlayout/internal/flg"
+	"structlayout/internal/gofront"
 	"structlayout/internal/irtext"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
@@ -71,6 +75,7 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "persist the measurement cache here; warm re-runs reuse identical collections and measurements")
 		lintMode    = flag.Bool("lint", false, "run the static structure-layout linter (no measurement); exit 0 clean, 3 findings")
 		lintDir     = flag.String("lint-dir", "", "lint every *.slp program under this directory, recursively (implies -lint)")
+		goLint      = flag.String("go-lint", "", "lint Go packages (comma/space-separated dirs, \"dir/...\" recurses): extract goroutines, lock regions and struct accesses, run the static linter, print reordering suggestions; exit 0 clean, 3 findings")
 		lintJSON    = flag.String("lint-json", "", "with -lint: also write the findings as JSON to this file (\"-\" for stdout)")
 		cacheGC     = flag.Bool("cache-gc", false, "age out disk-tier cache entries (requires -cache-dir), print the pass summary, and exit")
 		cacheGCAge  = flag.Duration("cache-gc-age", 720*time.Hour, "with -cache-gc: remove entries not touched within this duration (0 disables the age criterion)")
@@ -90,6 +95,9 @@ func main() {
 	}
 	if *cacheGC {
 		os.Exit(runCacheGC(*cacheDir, *cacheGCAge, *cacheGCSize))
+	}
+	if *goLint != "" {
+		os.Exit(runGoLint(*goLint, *lintJSON))
 	}
 	if *lintMode || *lintDir != "" {
 		os.Exit(runLint(*programIn, *lintDir, *lintJSON, *collectOn, *seed, *scripts))
@@ -172,6 +180,12 @@ func runLint(programIn, lintDir, lintJSON, collectOn string, seed, scripts int64
 		return 1
 	}
 	staticshare.Rank(findings)
+	skipped := 0
+	for _, f := range findings {
+		if f.Code == staticshare.CodeLintSkipped {
+			skipped++
+		}
+	}
 	if len(findings) == 0 {
 		fmt.Println("lint: no findings")
 	} else {
@@ -180,16 +194,50 @@ func runLint(programIn, lintDir, lintJSON, collectOn string, seed, scripts int64
 			fmt.Printf("  %-8s %-28s %s\n", f.Severity, f.Code, f.Message)
 		}
 	}
+	if skipped > 0 {
+		fmt.Printf("lint: %d file(s) skipped\n", skipped)
+	}
 	if lintJSON != "" {
-		raw, jerr := staticshare.MarshalFindings(findings)
-		if jerr == nil {
-			if lintJSON == "-" {
-				_, jerr = os.Stdout.Write(append(raw, '\n'))
-			} else {
-				jerr = os.WriteFile(lintJSON, append(raw, '\n'), 0o644)
-			}
+		if jerr := writeFindingsJSON(findings, lintJSON); jerr != nil {
+			fmt.Fprintln(os.Stderr, "layouttool:", jerr)
+			return 1
 		}
-		if jerr != nil {
+	}
+	if len(findings) > 0 {
+		return 3
+	}
+	return 0
+}
+
+// writeFindingsJSON writes ranked findings as JSON to a file or stdout.
+func writeFindingsJSON(findings []staticshare.Finding, dest string) error {
+	raw, err := staticshare.MarshalFindings(findings)
+	if err != nil {
+		return err
+	}
+	if dest == "-" {
+		_, err = os.Stdout.Write(append(raw, '\n'))
+		return err
+	}
+	return os.WriteFile(dest, append(raw, '\n'), 0o644)
+}
+
+// runGoLint lints real Go packages through the gofront extraction
+// pipeline. Exit codes mirror -lint: 0 clean, 3 findings, 1 when nothing
+// could be analyzed at all. Per-package failures degrade to lint-skipped
+// findings (which, being findings, also exit 3 — a partially-skipped run
+// is not a clean one).
+func runGoLint(patterns, lintJSON string) int {
+	pats := strings.FieldsFunc(patterns, func(r rune) bool { return r == ',' || r == ' ' })
+	reports, err := gofront.Run(pats, gofront.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layouttool:", err)
+		return 1
+	}
+	fmt.Print(gofront.RenderText(reports))
+	findings := gofront.AllFindings(reports)
+	if lintJSON != "" {
+		if jerr := writeFindingsJSON(findings, lintJSON); jerr != nil {
 			fmt.Fprintln(os.Stderr, "layouttool:", jerr)
 			return 1
 		}
@@ -219,20 +267,39 @@ func lintProgramFile(path string) ([]staticshare.Finding, error) {
 }
 
 // lintTree lints every *.slp file under root, aggregating the findings
-// with the file path prefixed to each message.
+// with the file path prefixed to each message. One bad file must not
+// kill the run: unreadable or unparseable inputs degrade to a per-file
+// lint-skipped diagnostic and the walk continues; only a tree where
+// nothing linted at all is an error.
 func lintTree(root string) ([]staticshare.Finding, error) {
 	var all []staticshare.Finding
-	linted := 0
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	linted, skipped := 0, 0
+	skip := func(path string, err error) {
+		skipped++
+		all = append(all, staticshare.Finding{
+			Severity: diag.Degraded,
+			Code:     staticshare.CodeLintSkipped,
+			Message:  fmt.Sprintf("%s: skipped: %s", path, strings.TrimPrefix(err.Error(), path+": ")),
+		})
+	}
+	walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
-			return err
+			if path == root {
+				return err // the root itself is unusable: nothing to walk
+			}
+			skip(path, err)
+			if d != nil && d.IsDir() {
+				return fs.SkipDir
+			}
+			return nil
 		}
 		if d.IsDir() || filepath.Ext(path) != ".slp" {
 			return nil
 		}
 		findings, ferr := lintProgramFile(path)
 		if ferr != nil {
-			return ferr
+			skip(path, ferr)
+			return nil
 		}
 		linted++
 		for _, f := range findings {
@@ -241,10 +308,13 @@ func lintTree(root string) ([]staticshare.Finding, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if walkErr != nil {
+		return nil, walkErr
 	}
 	if linted == 0 {
+		if skipped > 0 {
+			return nil, fmt.Errorf("lint: every *.slp program under %s failed to lint (%d skipped)", root, skipped)
+		}
 		return nil, fmt.Errorf("lint: no *.slp programs under %s", root)
 	}
 	return all, nil

@@ -3,11 +3,13 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"structlayout/internal/exec"
 	"structlayout/internal/faults"
 	"structlayout/internal/quality"
+	"structlayout/internal/staticshare"
 )
 
 // none is the identity fault spec the CLI parses from an empty -inject.
@@ -93,6 +95,92 @@ thread 1 m iters 4
 	}
 	if _, err := runProgramFile(path, "s", "bus4", "auto", 3, 4, 1, 20, false, "", spec, false, 0, exec.SimExact, 0); err != nil {
 		t.Fatalf("graceful mode errored on injected faults: %v", err)
+	}
+}
+
+// TestLintTreeSkipsCorruptFiles pins the -lint-dir degradation contract:
+// a corrupt .slp alongside good ones yields the good files' aggregated
+// findings plus a lint-skipped diagnostic, not an aborted run.
+func TestLintTreeSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	clean, err := os.ReadFile("../../examples/lint/clean.slp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := os.ReadFile("../../examples/lint/falseshare.slp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "clean.slp"), clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "falseshare.slp"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.slp"), []byte("program {{{ not a program"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintTree(dir)
+	if err != nil {
+		t.Fatalf("one corrupt file aborted the tree lint: %v", err)
+	}
+	var skipped, falseSharing int
+	for _, f := range findings {
+		switch f.Code {
+		case staticshare.CodeLintSkipped:
+			skipped++
+			if !strings.Contains(f.Message, "corrupt.slp") {
+				t.Errorf("lint-skipped diagnostic does not name the corrupt file: %q", f.Message)
+			}
+		case staticshare.CodeFalseSharing:
+			falseSharing++
+		}
+	}
+	if skipped != 1 {
+		t.Errorf("got %d lint-skipped findings, want 1", skipped)
+	}
+	if falseSharing == 0 {
+		t.Error("good files' findings were lost: no static-false-sharing aggregated")
+	}
+
+	// A tree where nothing lints is still an error.
+	empty := t.TempDir()
+	if _, err := lintTree(empty); err == nil {
+		t.Error("empty tree should error")
+	}
+	allBad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(allBad, "x.slp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lintTree(allBad); err == nil {
+		t.Error("tree with only corrupt files should error")
+	}
+}
+
+// TestRunGoLint pins the -go-lint exit-code contract on the golden
+// example packages: clean exits 0, false sharing exits 3, and a bad
+// pattern exits 1.
+func TestRunGoLint(t *testing.T) {
+	if got := runGoLint("../../examples/gofront/clean", ""); got != 0 {
+		t.Errorf("clean package: exit %d, want 0", got)
+	}
+	jsonOut := filepath.Join(t.TempDir(), "findings.json")
+	if got := runGoLint("../../examples/gofront/falseshare", jsonOut); got != 3 {
+		t.Errorf("falseshare package: exit %d, want 3", got)
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), staticshare.CodeFalseSharing) {
+		t.Errorf("-lint-json output lacks %s: %s", staticshare.CodeFalseSharing, raw)
+	}
+	if got := runGoLint("../../examples/gofront/no-such-dir", ""); got != 1 {
+		t.Errorf("missing dir: exit %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,48 @@
+// Package clean is the known-good golden input for `layouttool
+// -go-lint`: workers share only an immutable routing table (read-only
+// sharing is benign) and keep their hot counters in goroutine-local
+// state. The static pass must report nothing here.
+package clean
+
+// RouteTable is built once before the workers start and never written
+// afterwards; concurrent reads of one instance are fine.
+type RouteTable struct {
+	shards  int64
+	mask    int64
+	seed    int64
+	version int64
+}
+
+var routes = RouteTable{shards: 16, mask: 15, seed: 42, version: 1}
+
+// WorkerStats is goroutine-local: each worker owns its instance, so no
+// two threads ever touch the same memory.
+type WorkerStats struct {
+	handled int64
+	dropped int64
+}
+
+// Serve starts the worker pool; each worker allocates its own stats.
+func Serve() {
+	for i := 0; i < 4; i++ {
+		go worker()
+	}
+}
+
+func worker() {
+	var stats WorkerStats
+	for n := int64(0); n < 1024; n++ {
+		shard := (n ^ routes.seed) & routes.mask
+		if shard < routes.shards {
+			stats.handled++
+		} else {
+			stats.dropped++
+		}
+	}
+	sink(stats.handled, stats.dropped)
+}
+
+// sink keeps the counters observably live.
+func sink(handled, dropped int64) {
+	_ = handled + dropped
+}

@@ -1,0 +1,57 @@
+// Package falseshare is the known-bad golden input for `layouttool
+// -go-lint`: hot per-thread counters declared adjacent to each other and
+// to the mutex word, all on one coherence line of a single shared
+// instance. The static pass must flag certain write-sharing here.
+package falseshare
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics packs the admission lock and all hot counters together: every
+// field below lands on the first 128-byte line of the one global
+// instance, so concurrent workers ping-pong the line.
+type Metrics struct {
+	mu    sync.Mutex
+	limit int64
+	inuse int64
+	reqs  int64
+	errs  int64
+}
+
+var global Metrics
+
+// Serve starts the worker pool. Each `go` statement in the loop is a
+// modeled thread.
+func Serve() {
+	for i := 0; i < 4; i++ {
+		go worker(i)
+	}
+}
+
+func worker(id int) {
+	for n := 0; n < 1024; n++ {
+		handle(n + id)
+	}
+}
+
+func handle(n int) {
+	atomic.AddInt64(&global.reqs, 1)
+	if n%64 == 0 {
+		atomic.AddInt64(&global.errs, 1)
+	}
+	if n%256 == 0 {
+		reserve()
+	}
+}
+
+// reserve takes the admission lock; inuse/limit are lock-serialized,
+// but they still share a line with the lock word and the atomics.
+func reserve() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.inuse < global.limit {
+		global.inuse++
+	}
+}

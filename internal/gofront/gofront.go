@@ -1,0 +1,412 @@
+// Package gofront is the Go-package frontend for the static sharing
+// analysis: it loads real Go packages with go/parser + go/types (stdlib
+// only — no go/packages dependency, no `go list` subprocess), extracts
+// struct definitions with their field sizes and alignments, derives
+// per-goroutine field-access footprints (`go` statements as declared
+// threads, sync.Mutex/RWMutex Lock..Unlock call regions as lock-held
+// regions, same-package calls followed interprocedurally), and lowers
+// the result into internal/ir — so staticshare classification, the
+// CycleLoss prior and the lint findings apply to actual Go code
+// unchanged. docs/GOFRONT.md states the extraction rules and the known
+// unsoundness relative to the DSL path.
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"structlayout/internal/diag"
+	"structlayout/internal/irtext"
+	"structlayout/internal/staticshare"
+)
+
+// Options parameterize loading and lowering. The zero value is usable:
+// every field has a working default.
+type Options struct {
+	// GOARCH selects the size/alignment model (default amd64, the
+	// paper's 64-bit machines).
+	GOARCH string
+	// LineSize is the coherence-line size the linter checks co-location
+	// against (default 128, matching the DSL lint path).
+	LineSize int
+	// LoopTrip is the assumed trip count for Go loops, whose bounds are
+	// rarely static (default 8). It only weights finding ranks.
+	LoopTrip int64
+	// SpawnsPerLoopGo is how many threads model a `go` statement inside
+	// a loop (default 2: enough for distinct-thread conflicts to exist).
+	SpawnsPerLoopGo int
+	// MaxThreads caps the modeled threads per package (default 16,
+	// keeping per-CPU instance indices below the named-instance base).
+	MaxThreads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.GOARCH == "" {
+		o.GOARCH = "amd64"
+	}
+	if o.LineSize <= 0 {
+		o.LineSize = 128
+	}
+	if o.LoopTrip <= 0 {
+		o.LoopTrip = 8
+	}
+	if o.SpawnsPerLoopGo <= 0 {
+		o.SpawnsPerLoopGo = 2
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 16
+	}
+	return o
+}
+
+// Package is one loaded, type-checked Go package.
+type Package struct {
+	// Dir is the package directory as resolved from the pattern — the
+	// stable display name for findings.
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+	// TypeErrs collects tolerated type errors (unresolved imports of
+	// non-stdlib packages, and so on). Extraction degrades around them.
+	TypeErrs []error
+}
+
+// Load resolves package patterns to directories and parses + typechecks
+// each. A pattern is a directory path, or a path ending in "/..." which
+// walks the subtree for every directory holding Go files (skipping
+// dot/underscore directories, testdata, and _test.go files — the same
+// shape the go tool gives the pattern). Results are sorted by directory,
+// independent of pattern order, and deduplicated. Per-package load
+// failures come back as a *LoadError in the package slot's place only
+// when nothing loads; partial failures are the caller's to surface (see
+// Run).
+func Load(patterns []string, opts Options) ([]*Package, []error, error) {
+	opts = opts.withDefaults()
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	var loadErrs []error
+	for _, dir := range dirs {
+		pkg, perr := loadDir(dir, opts)
+		if perr != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", dir, perr))
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 && len(loadErrs) == 0 {
+		return nil, nil, fmt.Errorf("gofront: no Go packages match %v", patterns)
+	}
+	return pkgs, loadErrs, nil
+}
+
+// expandPatterns resolves pattern strings to a sorted, deduplicated
+// directory list.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		clean := filepath.Clean(dir)
+		if !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "" {
+			continue
+		}
+		root, recursive := pat, false
+		if strings.HasSuffix(pat, "/...") {
+			root, recursive = strings.TrimSuffix(pat, "/..."), true
+			if root == "" {
+				root = "."
+			}
+		}
+		fi, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("gofront: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("gofront: %s is not a directory", root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gofront: %w", err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+// goFileNames lists the non-test Go files of a directory, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadDir parses and typechecks one directory as a package. Type errors
+// are tolerated (recorded, extraction degrades); parse errors are not —
+// without syntax there is nothing to extract.
+func loadDir(dir string, opts Options) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files")
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			// Mixed-package directory (e.g. main + lib): keep the first
+			// package name seen, drop the stragglers.
+			continue
+		}
+		files = append(files, f)
+	}
+	sizes := types.SizesFor("gc", opts.GOARCH)
+	if sizes == nil {
+		return nil, fmt.Errorf("unknown GOARCH %q", opts.GOARCH)
+	}
+	pkg := &Package{Dir: dir, Name: pkgName, Fset: fset, Files: files, Sizes: sizes}
+	conf := types.Config{
+		Importer:         importer.ForCompiler(fset, "source", nil),
+		Sizes:            sizes,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrs = append(pkg.TypeErrs, err)
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Check reports the first error even with an Error handler set; the
+	// handler has collected everything, so the return is advisory.
+	tpkg, _ := conf.Check(dir, fset, files, info)
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// Report is the lint outcome for one package.
+type Report struct {
+	// Package is the display path (the resolved directory).
+	Package string
+	// Findings are ranked staticshare findings, message text unprefixed.
+	Findings []staticshare.Finding
+	// Suggestions hold fieldalignment-style reordering diffs for structs
+	// with certain co-located write-sharing.
+	Suggestions []Suggestion
+	// Model is the lowered program (nil when Err is set); tests and the
+	// CLI's -lint-json reuse it.
+	Model *Model
+	// Err is a per-package load or analysis failure: the run degrades to
+	// a lint-skipped finding instead of dying.
+	Err error
+}
+
+// Run loads every package the patterns name and lints each: the one-call
+// frontend the CLI wraps. Per-package failures degrade into a Report
+// with Err set (and a lint-skipped finding from AllFindings); only a run
+// where nothing loads at all returns an error.
+func Run(patterns []string, opts Options) ([]*Report, error) {
+	opts = opts.withDefaults()
+	pkgs, loadErrs, err := Load(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*Report
+	for _, lerr := range loadErrs {
+		reports = append(reports, &Report{Package: loadErrPath(lerr), Err: lerr})
+	}
+	for _, pkg := range pkgs {
+		reports = append(reports, LintPackage(pkg, opts))
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Package < reports[j].Package })
+	analyzed := 0
+	for _, r := range reports {
+		if r.Err == nil {
+			analyzed++
+		}
+	}
+	if analyzed == 0 {
+		return nil, fmt.Errorf("gofront: every package failed to lint: %v", firstErr(reports))
+	}
+	return reports, nil
+}
+
+func loadErrPath(err error) string {
+	s := err.Error()
+	if i := strings.Index(s, ":"); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func firstErr(reports []*Report) error {
+	for _, r := range reports {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// LintPackage extracts, lowers and lints one loaded package.
+func LintPackage(pkg *Package, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Package: pkg.Dir}
+	model, err := Extract(pkg, opts)
+	if err != nil {
+		rep.Err = fmt.Errorf("%s: %w", pkg.Dir, err)
+		return rep
+	}
+	rep.Model = model
+	findings, res, err := staticshare.LintFile(model.File, opts.LineSize)
+	if err != nil {
+		rep.Err = fmt.Errorf("%s: %w", pkg.Dir, err)
+		return rep
+	}
+	rep.Findings = findings
+	rep.Suggestions = Suggest(model, res, opts.LineSize)
+	return rep
+}
+
+// AllFindings flattens the reports into one ranked finding list with
+// package paths prefixed to each message, mapping per-package errors to
+// lint-skipped diagnostics — the JSON/exit-code view the CLI shares with
+// -lint-dir.
+func AllFindings(reports []*Report) []staticshare.Finding {
+	var all []staticshare.Finding
+	for _, r := range reports {
+		if r.Err != nil {
+			all = append(all, staticshare.Finding{
+				Severity: diag.Degraded,
+				Code:     staticshare.CodeLintSkipped,
+				Message:  fmt.Sprintf("%s: skipped: %s", r.Package, strings.TrimPrefix(r.Err.Error(), r.Package+": ")),
+			})
+			continue
+		}
+		for _, f := range r.Findings {
+			f.Message = r.Package + ": " + f.Message
+			all = append(all, f)
+		}
+	}
+	staticshare.Rank(all)
+	return all
+}
+
+// RenderText renders the reports for the terminal, byte-deterministic
+// across runs and load orders.
+func RenderText(reports []*Report) string {
+	var b strings.Builder
+	clean := 0
+	for _, r := range reports {
+		if r.Err == nil && len(r.Findings) == 0 {
+			clean++
+		}
+	}
+	fmt.Fprintf(&b, "go-lint: %d package(s), %d clean\n", len(reports), clean)
+	for _, r := range reports {
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(&b, "package %s: skipped: %s\n", r.Package, strings.TrimPrefix(r.Err.Error(), r.Package+": "))
+		case len(r.Findings) == 0:
+			fmt.Fprintf(&b, "package %s: clean (%d struct(s), %d thread(s))\n",
+				r.Package, len(r.Model.Structs), len(r.Model.File.Threads))
+		default:
+			fmt.Fprintf(&b, "package %s: %d finding(s)\n", r.Package, len(r.Findings))
+			for _, f := range r.Findings {
+				fmt.Fprintf(&b, "  %-8s %-28s %s\n", f.Severity, f.Code, f.Message)
+			}
+			for _, s := range r.Suggestions {
+				fmt.Fprintf(&b, "\n  suggested reordering for struct %s:\n", s.Struct)
+				for _, line := range strings.Split(strings.TrimRight(s.Diff, "\n"), "\n") {
+					b.WriteString("  " + line + "\n")
+				}
+			}
+		}
+		for _, note := range modelNotes(r) {
+			fmt.Fprintf(&b, "  note: %s\n", note)
+		}
+	}
+	return b.String()
+}
+
+func modelNotes(r *Report) []string {
+	if r.Model == nil {
+		return nil
+	}
+	return r.Model.Notes
+}
+
+// Format returns the lowered program in irtext syntax: the bridge into
+// every DSL-driven tool (and the fuzz corpora).
+func (m *Model) Format() string { return irtext.Format(m.File) }

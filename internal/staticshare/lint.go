@@ -32,6 +32,10 @@ const (
 	// CodeExclusiveCC: sampled CC mass on block pairs the MHP relation
 	// proves exclusive — a measurement-quality contradiction.
 	CodeExclusiveCC = "mhp-exclusive-cc"
+	// CodeLintSkipped: an input (a *.slp file in a -lint-dir tree, a Go
+	// package in a -go-lint run) could not be read, parsed or analyzed;
+	// it was skipped and the rest of the run still linted.
+	CodeLintSkipped = "lint-skipped"
 )
 
 // Finding is one ranked linter diagnostic.

@@ -215,6 +215,10 @@ func FuzzLint(f *testing.F) {
 		"examples/lint/clean.slp",
 		"examples/lint/falseshare.slp",
 		"examples/dslprogram/webserver.slp",
+		// gofront-lowered programs: the fuzzer explores from the exact
+		// shapes the Go frontend hands this linter.
+		"internal/gofront/testdata/lowered_clean.slp",
+		"internal/gofront/testdata/lowered_falseshare.slp",
 	} {
 		src, err := os.ReadFile(filepath.Join("..", "..", rel))
 		if err != nil {

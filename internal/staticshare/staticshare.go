@@ -55,18 +55,34 @@ type Config struct {
 	Threads []Thread
 	// Arenas maps struct name to instance count, when known. Instance
 	// indices compare modulo the count, matching the interpreter's
-	// resolution; structs without an entry compare raw (a conservative
-	// one-instance default never proves distinctness it shouldn't:
-	// unknown counts only arise with raw indices already in range).
+	// resolution. Structs without an entry have a statically unknown
+	// count (the go/ast frontend routinely produces these): equal raw
+	// indices still must-overlap (i mod n == i mod n for every n), but
+	// distinct raw indices only may-overlap — with an unknown count any
+	// two indices can alias (0 and 8 collide at any count dividing 8),
+	// so distinctness is never provable. DSL files never hit this path:
+	// FileConfig fills the interpreter's one-instance default for
+	// accessed-but-undeclared structs.
 	Arenas map[string]int
 }
 
 // FileConfig derives the analysis configuration from a parsed DSL file:
-// the declared arenas and threads, verbatim.
+// the declared arenas and threads, plus the interpreter's one-instance
+// default for structs the program declares but the file allocates no
+// arena for (driver.Run resolves their indices modulo 1, so the static
+// pass must too — leaving the count unknown would degrade provable
+// overlaps to may-overlaps the interpreter contradicts).
 func FileConfig(f *irtext.File) Config {
 	cfg := Config{Arenas: make(map[string]int, len(f.Arenas))}
 	for name, n := range f.Arenas {
 		cfg.Arenas[name] = n
+	}
+	if f.Prog != nil {
+		for _, st := range f.Prog.Structs {
+			if _, ok := cfg.Arenas[st.Name]; !ok {
+				cfg.Arenas[st.Name] = 1
+			}
+		}
 	}
 	for _, td := range f.Threads {
 		cfg.Threads = append(cfg.Threads, Thread{
@@ -481,6 +497,11 @@ func (r *Result) footprint(a Access) Footprint {
 	case ir.InstLoopVar:
 		return FootSweep
 	case ir.InstParam:
+		if len(a.Threads) > 1 && !r.counted(a.Struct.Name) {
+			// Distinct raw bindings prove nothing without an instance
+			// count: any two indices may alias modulo the real count.
+			return FootParam
+		}
 		seen := make(map[int]bool, len(a.Threads))
 		for _, ti := range a.Threads {
 			idx, known, _ := r.resolveInst(ti, a.Struct.Name, a.Inst)
@@ -524,6 +545,14 @@ func (r *Result) resolveInst(ti int, structName string, e ir.InstExpr) (idx int,
 	return idx, known, false
 }
 
+// counted reports whether the struct's instance count is statically
+// known. Distinctness proofs (ovNo, FootPerThread) are only sound with a
+// count: two raw indices that differ still collide modulo any count that
+// divides their difference.
+func (r *Result) counted(structName string) bool {
+	return r.Cfg.Arenas[structName] > 0
+}
+
 // overlapKind is the instance-overlap lattice for one thread pair.
 type overlapKind uint8
 
@@ -548,6 +577,12 @@ func (r *Result) overlap(t1 int, a1 *Access, t2 int, a2 *Access) overlapKind {
 	}
 	if i1 == i2 {
 		return ovMust
+	}
+	if !r.counted(a1.Struct.Name) {
+		// Unknown instance count: equal indices must collide at any
+		// count, but distinct indices only prove distinctness modulo a
+		// known one.
+		return ovMay
 	}
 	return ovNo
 }

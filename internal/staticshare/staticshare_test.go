@@ -7,6 +7,7 @@ import (
 	"structlayout/internal/concurrency"
 	"structlayout/internal/flg"
 	"structlayout/internal/ir"
+	"structlayout/internal/irtext"
 )
 
 // classProg builds a program with one access of every sharing class:
@@ -326,6 +327,155 @@ func TestAnalyzeDamagedProgramNoPanic(t *testing.T) {
 		t.Fatal("nil result without error")
 	}
 	// Either outcome is fine; panicking is not (recover turns it into err).
+}
+
+// uncountedProg writes two distinct fixed instance indices of one struct
+// from two threads; the arena count is whatever the caller declares.
+func uncountedProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("uncounted")
+	s := ir.NewStruct("blob", ir.I64("b_a"), ir.I64("b_b"))
+	p.AddStruct(s)
+	w0 := p.NewProc("w0")
+	w0.Write(s, "b_a", ir.Shared(0))
+	w0.Done()
+	w1 := p.NewProc("w1")
+	w1.Write(s, "b_b", ir.Shared(3))
+	w1.Done()
+	return p.MustFinalize()
+}
+
+func uncountedThreads() []Thread {
+	return []Thread{
+		{CPU: 0, Proc: "w0", Iters: 1},
+		{CPU: 1, Proc: "w1", Iters: 1},
+	}
+}
+
+func TestUnknownArenaCountIsConservative(t *testing.T) {
+	prog := uncountedProg(t)
+	// Without a declared count, indices 0 and 3 collide at any count
+	// dividing 3 — and the interpreter's undeclared-arena default is a
+	// single instance, where they certainly collide. Distinctness must
+	// not be provable: the pair degrades to (uncertain) write-shared,
+	// never to never-shared.
+	r, err := Analyze(prog, Config{Threads: uncountedThreads()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := r.Pair("blob", 0, 1)
+	if pi.Class != WriteShared || pi.Certain {
+		t.Fatalf("unknown count, distinct indices: got %v (certain=%v), want uncertain write-shared", pi.Class, pi.Certain)
+	}
+	// With a count that keeps the indices apart, distinctness is exact.
+	r2, err := Analyze(prog, Config{Threads: uncountedThreads(), Arenas: map[string]int{"blob": 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r2.Pair("blob", 0, 1); pi.Class != NeverShared {
+		t.Fatalf("count 8, indices 0 vs 3: got %v, want never-shared", pi.Class)
+	}
+	// And with a count that folds them together, the collision is certain.
+	r3, err := Analyze(prog, Config{Threads: uncountedThreads(), Arenas: map[string]int{"blob": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r3.Pair("blob", 0, 1); pi.Class != WriteShared || !pi.Certain {
+		t.Fatalf("count 3, indices 0 vs 3: got %v (certain=%v), want certain write-shared", pi.Class, pi.Certain)
+	}
+}
+
+func TestUnknownCountEqualIndicesStayCertain(t *testing.T) {
+	p := ir.NewProgram("uncounted_eq")
+	s := ir.NewStruct("blob", ir.I64("b_a"), ir.I64("b_b"))
+	p.AddStruct(s)
+	w0 := p.NewProc("w0")
+	w0.Write(s, "b_a", ir.Shared(5))
+	w0.Done()
+	w1 := p.NewProc("w1")
+	w1.Write(s, "b_b", ir.Shared(5))
+	w1.Done()
+	// i mod n == i mod n for every n: equal raw indices must-overlap even
+	// with the count unknown.
+	r, err := Analyze(p.MustFinalize(), Config{Threads: uncountedThreads()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r.Pair("blob", 0, 1); pi.Class != WriteShared || !pi.Certain {
+		t.Fatalf("unknown count, equal indices: got %v (certain=%v), want certain write-shared", pi.Class, pi.Certain)
+	}
+}
+
+func TestUnknownCountParamBindingsNotDistinct(t *testing.T) {
+	p := ir.NewProgram("uncounted_param")
+	s := ir.NewStruct("cell", ir.I64("c_a"), ir.I64("c_b"))
+	p.AddStruct(s)
+	w := p.NewProc("touch")
+	w.Write(s, "c_a", ir.Param(0))
+	w.Write(s, "c_b", ir.Param(0))
+	w.Done()
+	prog := p.MustFinalize()
+	threads := []Thread{
+		{CPU: 0, Proc: "touch", Params: []int{0}, Iters: 1},
+		{CPU: 1, Proc: "touch", Params: []int{4}, Iters: 1},
+	}
+	// Distinct param bindings prove nothing without a count (0 and 4
+	// collide at counts 1, 2, 4): uncertain write-shared, param footprint.
+	r, err := Analyze(prog, Config{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r.Pair("cell", 0, 1); pi.Class != WriteShared || pi.Certain {
+		t.Fatalf("unknown count, param bindings: got %v (certain=%v), want uncertain write-shared", pi.Class, pi.Certain)
+	}
+	for _, a := range r.Accesses {
+		if a.Foot == FootPerThread {
+			t.Fatalf("unknown count: access %s.%s claims per-thread distinctness", a.Struct.Name, a.Struct.Fields[a.Field].Name)
+		}
+	}
+	// The declared count restores the proof.
+	r2, err := Analyze(prog, Config{Threads: threads, Arenas: map[string]int{"cell": 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r2.Pair("cell", 0, 1); pi.Class != NeverShared {
+		t.Fatalf("count 8, distinct bindings: got %v, want never-shared", pi.Class)
+	}
+}
+
+func TestFileConfigDefaultsUndeclaredArenas(t *testing.T) {
+	src := `
+program defaulted
+
+struct blob {
+    b_a i64
+    b_b i64
+}
+
+proc w0 { write blob.b_a shared 0 }
+proc w1 { write blob.b_b shared 3 }
+
+thread 0 w0 iters 1
+thread 1 w1 iters 1
+`
+	f, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FileConfig(f)
+	// driver.Run gives undeclared arenas one instance; the static config
+	// must match, or the DSL path would report may-overlaps the
+	// interpreter contradicts.
+	if n := cfg.Arenas["blob"]; n != 1 {
+		t.Fatalf("undeclared arena defaulted to %d instances, want 1", n)
+	}
+	r, err := Analyze(f.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := r.Pair("blob", 0, 1); pi.Class != WriteShared || !pi.Certain {
+		t.Fatalf("one-instance default: got %v (certain=%v), want certain write-shared", pi.Class, pi.Certain)
+	}
 }
 
 func TestSummary(t *testing.T) {
