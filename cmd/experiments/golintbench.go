@@ -1,0 +1,198 @@
+// golintbench.go times the Go-package static linter over the committed
+// real-world corpus (examples/corpus + examples/gofront) and writes
+// BENCH_golint.json: the regression artifact behind the tentpole's
+// speedup claims. Three stages run back to back —
+//
+//	exact         the pre-summary configuration: exact per-access-pair
+//	              classification, a fresh typechecker importer per
+//	              package, serial (-j 1), no cache
+//	summary-cold  the production path: summary-based classification,
+//	              pooled importers, parallel, cold cache (every package
+//	              misses once)
+//	summary-warm  the same run again: every package must replay from
+//	              the cache with zero re-analysis
+//
+// and the stage asserts, unconditionally: the exact and summary findings
+// are byte-identical, the cold summary pass beats the exact walk by
+// coldSpeedupFloor, and the warm pass misses nothing. -check adds the
+// usual per-stage wall-clock gates against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"structlayout/internal/gofront"
+	"structlayout/internal/memo"
+	"structlayout/internal/parallel"
+	"structlayout/internal/staticshare"
+)
+
+// golintPatterns is the committed corpus the bench (and the CI smoke
+// job) runs over.
+var golintPatterns = []string{"examples/corpus/...", "examples/gofront/..."}
+
+// coldSpeedupFloor is the acceptance gate for the tentpole: the cold
+// summary-based parallel pass must beat the exact serial walk by at
+// least this factor.
+const coldSpeedupFloor = 3.0
+
+// golintReport is the BENCH_golint.json artifact.
+type golintReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Jobs       int          `json:"jobs"`
+	Packages   int          `json:"packages"`
+	Stages     []benchStage `json:"stages"`
+	// ColdSpeedup is exact seconds / summary-cold seconds — the gated
+	// headline.
+	ColdSpeedup float64 `json:"cold_speedup"`
+	// WarmMisses must be zero: a warm run that re-analyzes anything is an
+	// invalidation bug.
+	WarmMisses uint64 `json:"warm_misses"`
+}
+
+// runGoLintBench times the three linter configurations and writes the
+// report. Gates that need no baseline (findings parity, the speedup
+// floor, zero warm misses) always apply; -check layers the wall-clock
+// regression gates on top.
+func runGoLintBench(out, check string) error {
+	jobs := parallel.Limit()
+	defer parallel.SetLimit(jobs)
+	rep := &golintReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       jobs,
+	}
+	cache := memo.New()
+
+	type stageSpec struct {
+		name string
+		opts gofront.Options
+		jobs int
+	}
+	specs := []stageSpec{
+		{"exact", gofront.Options{ExactClassify: true, FreshImporters: true}, 1},
+		{"summary-cold", gofront.Options{Cache: cache}, jobs},
+		{"summary-warm", gofront.Options{Cache: cache}, jobs},
+	}
+	findingsJSON := make(map[string]string, len(specs))
+	seconds := make(map[string]float64, len(specs))
+	for _, spec := range specs {
+		parallel.SetLimit(spec.jobs)
+		before := cache.Stats()
+		t0 := time.Now()
+		reports, err := gofront.Run(golintPatterns, spec.opts)
+		secs := time.Since(t0).Seconds()
+		if err != nil {
+			return fmt.Errorf("golint-bench %s: %w", spec.name, err)
+		}
+		analyzed := 0
+		for _, r := range reports {
+			if r.Err != nil {
+				return fmt.Errorf("golint-bench %s: %s: %w", spec.name, r.Package, r.Err)
+			}
+			analyzed++
+		}
+		raw, err := staticshare.MarshalFindings(gofront.AllFindings(reports))
+		if err != nil {
+			return err
+		}
+		findingsJSON[spec.name] = string(raw)
+		seconds[spec.name] = secs
+		d := cache.Stats().Sub(before)
+		rep.Packages = analyzed
+		rep.Stages = append(rep.Stages, benchStage{
+			Name: spec.name, Seconds: secs,
+			MemoHits: d.Hits(), MemoMisses: d.Misses,
+		})
+		fmt.Printf("  %-13s %6.2fs  (-j %d, %d package(s), memo %d hit / %d miss)\n",
+			spec.name, secs, spec.jobs, analyzed, d.Hits(), d.Misses)
+		if spec.name == "summary-warm" {
+			rep.WarmMisses = d.Misses
+		}
+	}
+
+	// The gates that define the tentpole, baseline or not.
+	var failures []string
+	if findingsJSON["exact"] != findingsJSON["summary-cold"] {
+		failures = append(failures, "summary findings differ from the exact walk")
+	}
+	if findingsJSON["summary-cold"] != findingsJSON["summary-warm"] {
+		failures = append(failures, "warm replay changed the findings")
+	}
+	rep.ColdSpeedup = seconds["exact"] / seconds["summary-cold"]
+	fmt.Printf("cold speedup vs exact walk: %.2fx (floor %.1fx), warm misses: %d\n",
+		rep.ColdSpeedup, coldSpeedupFloor, rep.WarmMisses)
+	if rep.ColdSpeedup < coldSpeedupFloor {
+		failures = append(failures, fmt.Sprintf("cold speedup %.2fx below the %.1fx floor", rep.ColdSpeedup, coldSpeedupFloor))
+	}
+	if rep.WarmMisses != 0 {
+		failures = append(failures, fmt.Sprintf("warm run re-analyzed %d package(s)", rep.WarmMisses))
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if check != "" {
+		if err := checkGoLintRegression(rep, check); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("golint-bench: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// checkGoLintRegression gates stage wall-clock against the committed
+// baseline, with the same ratio/noise-floor policy as the pipeline
+// bench.
+func checkGoLintRegression(rep *golintReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golint baseline: %w", err)
+	}
+	var base golintReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("golint baseline %s: %w", path, err)
+	}
+	baseStages := make(map[string]float64, len(base.Stages))
+	for _, st := range base.Stages {
+		baseStages[st.Name] = st.Seconds
+	}
+	var failures []string
+	for _, st := range rep.Stages {
+		bs, ok := baseStages[st.Name]
+		if !ok || bs < stageGateFloor {
+			continue
+		}
+		if r := st.Seconds / bs; r > stageGateRatio {
+			failures = append(failures, fmt.Sprintf("stage %s regressed %.2fx (%.2fs vs %.2fs, limit %.2fx)",
+				st.Name, r, st.Seconds, bs, stageGateRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
+}

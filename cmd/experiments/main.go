@@ -9,6 +9,9 @@
 //	experiments simcheck   validate -sim=sampled against exact on the figure suite
 //	experiments all        everything
 //	experiments bench      time the pipeline and write BENCH_pipeline.json
+//	experiments golint-bench  time the Go-package linter over the corpus
+//	                          and write BENCH_golint.json (run from the
+//	                          repository root)
 //
 // Measured runs fan out over a worker pool (-j, default GOMAXPROCS); every
 // figure is byte-identical at any -j because seeds derive from run indices
@@ -98,6 +101,18 @@ func main() {
 	switch what {
 	case "bench":
 		err = runBench(cfg, *short, *benchOut, *check)
+	case "golint-bench":
+		out := *benchOut
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			out = "BENCH_golint.json"
+		}
+		err = runGoLintBench(out, *check)
 	case "quality":
 		err = runQuality(cfg, spec)
 	case "simcheck":

@@ -97,7 +97,7 @@ func main() {
 		os.Exit(runCacheGC(*cacheDir, *cacheGCAge, *cacheGCSize))
 	}
 	if *goLint != "" {
-		os.Exit(runGoLint(*goLint, *lintJSON))
+		os.Exit(runGoLint(*goLint, *lintJSON, *cacheDir))
 	}
 	if *lintMode || *lintDir != "" {
 		os.Exit(runLint(*programIn, *lintDir, *lintJSON, *collectOn, *seed, *scripts))
@@ -223,24 +223,43 @@ func writeFindingsJSON(findings []staticshare.Finding, dest string) error {
 }
 
 // runGoLint lints real Go packages through the gofront extraction
-// pipeline. Exit codes mirror -lint: 0 clean, 3 findings, 1 when nothing
-// could be analyzed at all. Per-package failures degrade to lint-skipped
-// findings (which, being findings, also exit 3 — a partially-skipped run
-// is not a clean one).
-func runGoLint(patterns, lintJSON string) int {
+// pipeline, memoizing per-package reports in the shared cache (with
+// -cache-dir, persistently: a warm run replays untouched packages
+// instead of re-typechecking them). Exit codes mirror -lint: 0 clean, 3
+// findings, 1 when nothing could be analyzed at all. Per-package
+// failures degrade to lint-skipped findings (which, being findings,
+// also exit 3 — a partially-skipped run is not a clean one).
+func runGoLint(patterns, lintJSON, cacheDir string) int {
 	pats := strings.FieldsFunc(patterns, func(r rune) bool { return r == ',' || r == ' ' })
-	reports, err := gofront.Run(pats, gofront.Options{})
+	cache := memo.Shared()
+	before := cache.Stats()
+	reports, err := gofront.Run(pats, gofront.Options{Cache: cache})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "layouttool:", err)
 		return 1
 	}
 	fmt.Print(gofront.RenderText(reports))
+	if cacheDir != "" {
+		// Stats go to stderr so stdout stays byte-comparable across runs.
+		d := cache.Stats().Sub(before)
+		fmt.Fprintf(os.Stderr, "go-lint: cache %d hit(s) / %d miss(es)\n", d.Hits(), d.Misses)
+	}
+	analyzed := 0
+	for _, r := range reports {
+		if r.Err == nil {
+			analyzed++
+		}
+	}
 	findings := gofront.AllFindings(reports)
 	if lintJSON != "" {
 		if jerr := writeFindingsJSON(findings, lintJSON); jerr != nil {
 			fmt.Fprintln(os.Stderr, "layouttool:", jerr)
 			return 1
 		}
+	}
+	if analyzed == 0 {
+		fmt.Fprintln(os.Stderr, "layouttool: go-lint analyzed no packages")
+		return 1
 	}
 	if len(findings) > 0 {
 		return 3
@@ -267,13 +286,17 @@ func lintProgramFile(path string) ([]staticshare.Finding, error) {
 }
 
 // lintTree lints every *.slp file under root, aggregating the findings
-// with the file path prefixed to each message. One bad file must not
-// kill the run: unreadable or unparseable inputs degrade to a per-file
-// lint-skipped diagnostic and the walk continues; only a tree where
-// nothing linted at all is an error.
+// with the file path prefixed to each message. The walk collects paths
+// serially (WalkDir order is deterministic), the per-file lint fans out
+// over internal/parallel with gather-by-index, and the final Rank is a
+// total order — so the output is byte-identical at any -j. One bad file
+// must not kill the run: unreadable or unparseable inputs degrade to a
+// per-file lint-skipped diagnostic and the walk continues; only a tree
+// where nothing linted at all is an error.
 func lintTree(root string) ([]staticshare.Finding, error) {
 	var all []staticshare.Finding
-	linted, skipped := 0, 0
+	var paths []string
+	skipped := 0
 	skip := func(path string, err error) {
 		skipped++
 		all = append(all, staticshare.Finding{
@@ -293,23 +316,33 @@ func lintTree(root string) ([]staticshare.Finding, error) {
 			}
 			return nil
 		}
-		if d.IsDir() || filepath.Ext(path) != ".slp" {
-			return nil
-		}
-		findings, ferr := lintProgramFile(path)
-		if ferr != nil {
-			skip(path, ferr)
-			return nil
-		}
-		linted++
-		for _, f := range findings {
-			f.Message = path + ": " + f.Message
-			all = append(all, f)
+		if !d.IsDir() && filepath.Ext(path) == ".slp" {
+			paths = append(paths, path)
 		}
 		return nil
 	})
 	if walkErr != nil {
 		return nil, walkErr
+	}
+	type fileRes struct {
+		findings []staticshare.Finding
+		err      error
+	}
+	results, _ := parallel.Map(len(paths), func(i int) (fileRes, error) {
+		findings, ferr := lintProgramFile(paths[i])
+		return fileRes{findings, ferr}, nil
+	})
+	linted := 0
+	for i, res := range results {
+		if res.err != nil {
+			skip(paths[i], res.err)
+			continue
+		}
+		linted++
+		for _, f := range res.findings {
+			f.Message = paths[i] + ": " + f.Message
+			all = append(all, f)
+		}
 	}
 	if linted == 0 {
 		if skipped > 0 {

@@ -8,6 +8,7 @@ import (
 
 	"structlayout/internal/exec"
 	"structlayout/internal/faults"
+	"structlayout/internal/parallel"
 	"structlayout/internal/quality"
 	"structlayout/internal/staticshare"
 )
@@ -165,11 +166,11 @@ func TestLintTreeSkipsCorruptFiles(t *testing.T) {
 // example packages: clean exits 0, false sharing exits 3, and a bad
 // pattern exits 1.
 func TestRunGoLint(t *testing.T) {
-	if got := runGoLint("../../examples/gofront/clean", ""); got != 0 {
+	if got := runGoLint("../../examples/gofront/clean", "", ""); got != 0 {
 		t.Errorf("clean package: exit %d, want 0", got)
 	}
 	jsonOut := filepath.Join(t.TempDir(), "findings.json")
-	if got := runGoLint("../../examples/gofront/falseshare", jsonOut); got != 3 {
+	if got := runGoLint("../../examples/gofront/falseshare", jsonOut, ""); got != 3 {
 		t.Errorf("falseshare package: exit %d, want 3", got)
 	}
 	raw, err := os.ReadFile(jsonOut)
@@ -179,8 +180,51 @@ func TestRunGoLint(t *testing.T) {
 	if !strings.Contains(string(raw), staticshare.CodeFalseSharing) {
 		t.Errorf("-lint-json output lacks %s: %s", staticshare.CodeFalseSharing, raw)
 	}
-	if got := runGoLint("../../examples/gofront/no-such-dir", ""); got != 1 {
+	if got := runGoLint("../../examples/gofront/no-such-dir", "", ""); got != 1 {
 		t.Errorf("missing dir: exit %d, want 1", got)
+	}
+}
+
+// TestRunGoLintZeroMatch pins the satellite contract: a pattern set that
+// matches no packages at all must exit 1 (after printing the skipped
+// diagnostics), while a dead pattern mixed with a live package degrades
+// to the skipped finding and exits 3.
+func TestRunGoLintZeroMatch(t *testing.T) {
+	if got := runGoLint("../../examples/gofront/ghost/...", "", ""); got != 1 {
+		t.Errorf("zero-match recursive pattern: exit %d, want 1", got)
+	}
+	if got := runGoLint("../../examples/gofront/ghost", "", ""); got != 1 {
+		t.Errorf("zero-match plain pattern: exit %d, want 1", got)
+	}
+	got := runGoLint("../../examples/gofront/ghost/...,../../examples/gofront/clean", "", "")
+	if got != 3 {
+		t.Errorf("mixed dead+live patterns: exit %d, want 3 (skipped finding)", got)
+	}
+}
+
+// TestLintTreeParallelDeterminism pins the -lint-dir fan-out: the ranked
+// findings must be byte-identical at any worker count.
+func TestLintTreeParallelDeterminism(t *testing.T) {
+	saved := parallel.Limit()
+	defer parallel.SetLimit(saved)
+
+	var ref string
+	for _, j := range []int{1, 2, 8} {
+		parallel.SetLimit(j)
+		findings, err := lintTree("../../examples")
+		if err != nil {
+			t.Fatalf("-j %d: %v", j, err)
+		}
+		staticshare.Rank(findings)
+		raw, err := staticshare.MarshalFindings(findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == "" {
+			ref = string(raw)
+		} else if string(raw) != ref {
+			t.Fatalf("-j %d findings differ from -j 1", j)
+		}
 	}
 }
 

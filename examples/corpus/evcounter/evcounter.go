@@ -1,0 +1,30 @@
+// Package evcounter spawns the same method on the same receiver twice:
+// both goroutines bump the one Counter instance through the bound
+// receiver, so its adjacent fields write-share one line. Exercises
+// method-value spawns and receiver instance binding.
+package evcounter
+
+import "sync/atomic"
+
+// Counter keeps both hot words adjacent.
+type Counter struct {
+	events int64
+	drops  int64
+}
+
+func (c *Counter) observe() {
+	for n := 0; n < 4096; n++ {
+		atomic.AddInt64(&c.events, 1)
+		if n&127 == 0 {
+			atomic.AddInt64(&c.drops, 1)
+		}
+	}
+}
+
+var events Counter
+
+// Start spawns the same bound method twice.
+func Start() {
+	go events.observe()
+	go events.observe()
+}

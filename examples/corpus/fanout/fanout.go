@@ -1,0 +1,39 @@
+// Package fanout reaches its shared state through a three-deep call
+// chain with a branch in the middle: the summary-based analysis must
+// propagate threads and frequencies through settle → record → post/void
+// without re-walking the callees at every call site.
+package fanout
+
+import "sync/atomic"
+
+// Ledger keeps both hot totals adjacent.
+type Ledger struct {
+	posted int64
+	voided int64
+}
+
+var ledger Ledger
+
+// Start launches two settlement workers.
+func Start() {
+	go settle(1)
+	go settle(2)
+}
+
+func settle(seed int64) {
+	for n := int64(0); n < 1024; n++ {
+		record(n * seed)
+	}
+}
+
+func record(v int64) {
+	if v&1 == 0 {
+		post()
+	} else {
+		void()
+	}
+}
+
+func post() { atomic.AddInt64(&ledger.posted, 1) }
+
+func void() { atomic.AddInt64(&ledger.voided, 1) }

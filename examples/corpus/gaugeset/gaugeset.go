@@ -1,0 +1,38 @@
+// Package gaugeset guards a process-wide gauge with per-worker meters:
+// each worker dutifully locks its own Meter before touching the shared
+// Gauge, so the locks serialize nothing — the textbook
+// per-thread-lock-shared-data bug.
+package gaugeset
+
+import "sync"
+
+// Gauge is the shared metric.
+type Gauge struct {
+	val int64
+	max int64
+}
+
+// Meter is the per-worker "guard".
+type Meter struct {
+	mu sync.Mutex
+}
+
+var gauge Gauge
+var meterA, meterB Meter
+
+// Start launches one worker per meter.
+func Start() {
+	go bump(&meterA)
+	go bump(&meterB)
+}
+
+func bump(m *Meter) {
+	for n := int64(0); n < 4096; n++ {
+		m.mu.Lock()
+		gauge.val++
+		if gauge.val > gauge.max {
+			gauge.max = gauge.val
+		}
+		m.mu.Unlock()
+	}
+}

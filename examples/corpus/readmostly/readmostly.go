@@ -1,0 +1,34 @@
+// Package readmostly shares an immutable limits table across the worker
+// pool: concurrent reads of one instance are benign, every counter is
+// frame-local, and the linter must report nothing.
+package readmostly
+
+// Limits is built once and never written after the workers start.
+type Limits struct {
+	rate  int64
+	burst int64
+	depth int64
+}
+
+var limits = Limits{rate: 1000, burst: 64, depth: 8}
+
+// Start launches the policing pool.
+func Start() {
+	for i := 0; i < 4; i++ {
+		go police(int64(i))
+	}
+}
+
+func police(seed int64) {
+	var allowed, denied int64
+	for n := int64(0); n < 8192; n++ {
+		if (n^seed)&limits.burst != 0 && n < limits.rate*limits.depth {
+			allowed++
+		} else {
+			denied++
+		}
+	}
+	sink(allowed, denied)
+}
+
+func sink(a, d int64) { _ = a + d }

@@ -1,0 +1,43 @@
+// Package ringbuffer is a single-producer single-consumer ring with the
+// classic layout bug: the producer cursor, the consumer cursor and the
+// storage all start on one coherence line of the one shared instance,
+// so every push ping-pongs the line with every pop.
+package ringbuffer
+
+import "sync/atomic"
+
+// Ring keeps head (producer-owned) and tail (consumer-owned) adjacent.
+type Ring struct {
+	head int64
+	tail int64
+	mask int64
+	buf  [256]int64
+}
+
+var ring = Ring{mask: 255}
+
+// Start launches the producer/consumer pair.
+func Start() {
+	go produce()
+	go consume()
+}
+
+func produce() {
+	for i := int64(0); i < 1<<16; i++ {
+		h := atomic.LoadInt64(&ring.head)
+		if h-atomic.LoadInt64(&ring.tail) < int64(len(ring.buf)) {
+			ring.buf[h&ring.mask] = i
+			atomic.AddInt64(&ring.head, 1)
+		}
+	}
+}
+
+func consume() {
+	for i := int64(0); i < 1<<16; i++ {
+		t := atomic.LoadInt64(&ring.tail)
+		if t < atomic.LoadInt64(&ring.head) {
+			_ = ring.buf[t&ring.mask]
+			atomic.AddInt64(&ring.tail, 1)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package seqlock publishes a two-word snapshot under a sequence
+// counter. Readers spin on seq while the writer bumps it around every
+// update — and seq shares its line with the data it versions, so the
+// readers' spins and the writer's stores collide on one line.
+package seqlock
+
+import "sync/atomic"
+
+// Snapshot keeps the sequence word adjacent to the payload.
+type Snapshot struct {
+	seq int64
+	x   int64
+	y   int64
+}
+
+var snap Snapshot
+
+// Start launches one publisher and two observers.
+func Start() {
+	go publish()
+	go observe()
+	go observe()
+}
+
+func publish() {
+	for n := int64(0); n < 1<<16; n++ {
+		atomic.AddInt64(&snap.seq, 1)
+		snap.x = n
+		snap.y = -n
+		atomic.AddInt64(&snap.seq, 1)
+	}
+}
+
+func observe() {
+	for n := 0; n < 1<<16; n++ {
+		s1 := atomic.LoadInt64(&snap.seq)
+		x := snap.x
+		y := snap.y
+		s2 := atomic.LoadInt64(&snap.seq)
+		if s1 == s2 && s1&1 == 0 {
+			sink(x, y)
+		}
+	}
+}
+
+func sink(x, y int64) { _ = x + y }

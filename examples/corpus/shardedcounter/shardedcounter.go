@@ -1,0 +1,49 @@
+// Package shardedcounter fans one logical counter out to per-worker
+// slots to avoid contention on a single word — and then defeats the
+// point by declaring the slots adjacent in one struct, so all four land
+// on one coherence line of the shared instance.
+package shardedcounter
+
+import "sync/atomic"
+
+// Counters holds one slot per worker.
+type Counters struct {
+	c0 int64
+	c1 int64
+	c2 int64
+	c3 int64
+}
+
+var counters Counters
+
+// Start launches one worker per slot.
+func Start() {
+	go worker0()
+	go worker1()
+	go worker2()
+	go worker3()
+}
+
+func worker0() {
+	for n := 0; n < 1<<16; n++ {
+		atomic.AddInt64(&counters.c0, 1)
+	}
+}
+
+func worker1() {
+	for n := 0; n < 1<<16; n++ {
+		atomic.AddInt64(&counters.c1, 1)
+	}
+}
+
+func worker2() {
+	for n := 0; n < 1<<16; n++ {
+		atomic.AddInt64(&counters.c2, 1)
+	}
+}
+
+func worker3() {
+	for n := 0; n < 1<<16; n++ {
+		atomic.AddInt64(&counters.c3, 1)
+	}
+}

@@ -1,0 +1,45 @@
+// Package spscpad is the padded twin of examples/corpus/ringbuffer: a
+// full coherence line between the producer cursor, the consumer cursor
+// and the storage. The write sharing is still there — the linter must
+// see it and then prove the layout never co-locates it.
+package spscpad
+
+import "sync/atomic"
+
+// Ring gives each cursor its own line.
+type Ring struct {
+	head int64
+	_    [120]byte
+	tail int64
+	_    [120]byte
+	mask int64
+	buf  [256]int64
+}
+
+var ring = Ring{mask: 255}
+
+// Start launches the producer/consumer pair.
+func Start() {
+	go produce()
+	go consume()
+}
+
+func produce() {
+	for i := int64(0); i < 1<<16; i++ {
+		h := atomic.LoadInt64(&ring.head)
+		if h-atomic.LoadInt64(&ring.tail) < int64(len(ring.buf)) {
+			ring.buf[h&ring.mask] = i
+			atomic.AddInt64(&ring.head, 1)
+		}
+	}
+}
+
+func consume() {
+	for i := int64(0); i < 1<<16; i++ {
+		t := atomic.LoadInt64(&ring.tail)
+		if t < atomic.LoadInt64(&ring.head) {
+			_ = ring.buf[t&ring.mask]
+			atomic.AddInt64(&ring.tail, 1)
+		}
+	}
+}

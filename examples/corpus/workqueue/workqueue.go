@@ -1,0 +1,40 @@
+// Package workqueue is a mutex-guarded queue done right: the lock word
+// is padded away from the queue state, every access to the state holds
+// the (one, shared) lock, and the workers keep their own tallies in
+// frame-local state. The linter must report nothing here.
+package workqueue
+
+import "sync"
+
+// Queue pads the lock onto its own coherence line.
+type Queue struct {
+	mu   sync.Mutex
+	_    [120]byte
+	jobs []int64
+	done int64
+}
+
+var queue = Queue{jobs: make([]int64, 0, 1024)}
+
+// Start launches the drain pool.
+func Start() {
+	for i := 0; i < 4; i++ {
+		go drain()
+	}
+}
+
+func drain() {
+	var got int64
+	for n := 0; n < 1024; n++ {
+		queue.mu.Lock()
+		if len(queue.jobs) > 0 {
+			queue.jobs = queue.jobs[:len(queue.jobs)-1]
+			queue.done++
+			got++
+		}
+		queue.mu.Unlock()
+	}
+	sink(got)
+}
+
+func sink(v int64) { _ = v }

@@ -25,6 +25,8 @@ import (
 
 	"structlayout/internal/diag"
 	"structlayout/internal/irtext"
+	"structlayout/internal/memo"
+	"structlayout/internal/parallel"
 	"structlayout/internal/staticshare"
 )
 
@@ -46,6 +48,20 @@ type Options struct {
 	// MaxThreads caps the modeled threads per package (default 16,
 	// keeping per-CPU instance indices below the named-instance base).
 	MaxThreads int
+	// Cache, when non-nil, memoizes per-package reports content-addressed
+	// by the source file names + contents, the options and the toolchain
+	// (never the directory path, so a hit is valid wherever the tree
+	// sits). Cached replays return reports without a Model — callers that
+	// need the lowered program must run uncached. Nil disables caching.
+	Cache *memo.Cache
+	// ExactClassify forces staticshare's exact per-access-pair
+	// classification walk instead of the summary-based path. Test and
+	// bench use only: the two are bit-identical by construction.
+	ExactClassify bool
+	// FreshImporters disables the package-level reuse of typechecker
+	// importers (each load pays full transitive re-typechecking). Bench
+	// use only, to time the un-amortized path honestly.
+	FreshImporters bool
 }
 
 func (o Options) withDefaults() Options {
@@ -84,29 +100,40 @@ type Package struct {
 }
 
 // Load resolves package patterns to directories and parses + typechecks
-// each. A pattern is a directory path, or a path ending in "/..." which
-// walks the subtree for every directory holding Go files (skipping
-// dot/underscore directories, testdata, and _test.go files — the same
-// shape the go tool gives the pattern). Results are sorted by directory,
-// independent of pattern order, and deduplicated. Per-package load
-// failures come back as a *LoadError in the package slot's place only
-// when nothing loads; partial failures are the caller's to surface (see
-// Run).
+// each, fanning the per-directory work out over internal/parallel with
+// gather-by-index (results are sorted by directory, independent of
+// pattern order and of -j). A pattern is a directory path, or a path
+// ending in "/..." which walks the subtree for every directory holding
+// Go files (skipping dot/underscore directories, testdata, and _test.go
+// files — the same shape the go tool gives the pattern). Patterns that
+// match no Go packages surface as per-pattern load errors (never
+// silently dropped); per-package load failures come back in loadErrs
+// with the rest of the run intact.
 func Load(patterns []string, opts Options) ([]*Package, []error, error) {
 	opts = opts.withDefaults()
-	dirs, err := expandPatterns(patterns)
+	dirs, unmatched, err := expandPatterns(patterns)
 	if err != nil {
 		return nil, nil, err
 	}
-	var pkgs []*Package
 	var loadErrs []error
-	for _, dir := range dirs {
-		pkg, perr := loadDir(dir, opts)
-		if perr != nil {
-			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", dir, perr))
+	for _, pat := range unmatched {
+		loadErrs = append(loadErrs, fmt.Errorf("%s: pattern matched no Go packages", pat))
+	}
+	type loadRes struct {
+		pkg *Package
+		err error
+	}
+	results, _ := parallel.Map(len(dirs), func(i int) (loadRes, error) {
+		pkg, perr := loadDir(dirs[i], opts)
+		return loadRes{pkg, perr}, nil
+	})
+	var pkgs []*Package
+	for i, res := range results {
+		if res.err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", dirs[i], res.err))
 			continue
 		}
-		pkgs = append(pkgs, pkg)
+		pkgs = append(pkgs, res.pkg)
 	}
 	if len(pkgs) == 0 && len(loadErrs) == 0 {
 		return nil, nil, fmt.Errorf("gofront: no Go packages match %v", patterns)
@@ -115,10 +142,10 @@ func Load(patterns []string, opts Options) ([]*Package, []error, error) {
 }
 
 // expandPatterns resolves pattern strings to a sorted, deduplicated
-// directory list.
-func expandPatterns(patterns []string) ([]string, error) {
+// directory list, plus the patterns that matched no Go packages at all
+// (so the caller can diagnose them instead of silently linting nothing).
+func expandPatterns(patterns []string) (dirs, unmatched []string, err error) {
 	seen := make(map[string]bool)
-	var dirs []string
 	add := func(dir string) {
 		clean := filepath.Clean(dir)
 		if !seen[clean] {
@@ -138,16 +165,19 @@ func expandPatterns(patterns []string) ([]string, error) {
 			}
 		}
 		fi, err := os.Stat(root)
-		if err != nil {
-			return nil, fmt.Errorf("gofront: %w", err)
-		}
-		if !fi.IsDir() {
-			return nil, fmt.Errorf("gofront: %s is not a directory", root)
+		if err != nil || !fi.IsDir() {
+			// A dead root is a pattern that matched nothing, not a fatal
+			// run error: the caller turns it into a lint-skipped report.
+			unmatched = append(unmatched, pat)
+			continue
 		}
 		if !recursive {
+			// Explicit directory: always resolved; loadDir reports "no Go
+			// files" if it is empty.
 			add(root)
 			continue
 		}
+		found := false
 		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
@@ -160,16 +190,21 @@ func expandPatterns(patterns []string) ([]string, error) {
 				return filepath.SkipDir
 			}
 			if hasGoFiles(path) {
+				found = true
 				add(path)
 			}
 			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("gofront: %w", err)
+			return nil, nil, fmt.Errorf("gofront: %w", err)
+		}
+		if !found {
+			unmatched = append(unmatched, pat)
 		}
 	}
 	sort.Strings(dirs)
-	return dirs, nil
+	sort.Strings(unmatched)
+	return dirs, unmatched, nil
 }
 
 func hasGoFiles(dir string) bool {
@@ -201,18 +236,86 @@ func goFileNames(dir string) ([]string, error) {
 // are tolerated (recorded, extraction degrades); parse errors are not —
 // without syntax there is nothing to extract.
 func loadDir(dir string, opts Options) (*Package, error) {
-	names, err := goFileNames(dir)
+	names, srcs, err := readGoFiles(dir)
 	if err != nil {
 		return nil, err
 	}
+	return loadFiles(dir, names, srcs, opts)
+}
+
+// readGoFiles reads the directory's non-test Go sources into memory —
+// the same bytes the cache key hashes and the parser consumes, so a key
+// always describes exactly what was analyzed.
+func readGoFiles(dir string) ([]string, [][]byte, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no Go files")
+		return nil, nil, fmt.Errorf("no Go files")
+	}
+	srcs := make([][]byte, len(names))
+	for i, name := range names {
+		src, rerr := os.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		srcs[i] = src
+	}
+	return names, srcs, nil
+}
+
+// typeBundle is a reusable (FileSet, source importer) pair. The source
+// importer re-typechecks every transitive import from source, which for
+// sync/atomic-importing packages costs far more than the package's own
+// analysis; reusing the importer amortizes that across packages (its
+// internal package cache persists), which is where most of the cold
+// -go-lint speedup comes from. A bundle serves one goroutine at a time;
+// the free list is a bounded channel (not a sync.Pool, whose GC-driven
+// drops would make reuse timing-dependent), so a burst of parallel
+// loads cannot pin unbounded typechecked state either.
+type typeBundle struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+var bundleFree = make(chan *typeBundle, 8)
+
+func acquireBundle(opts Options) *typeBundle {
+	if !opts.FreshImporters {
+		select {
+		case b := <-bundleFree:
+			return b
+		default:
+		}
 	}
 	fset := token.NewFileSet()
+	return &typeBundle{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+func releaseBundle(b *typeBundle, opts Options) {
+	if opts.FreshImporters {
+		return
+	}
+	select {
+	case bundleFree <- b:
+	default:
+	}
+}
+
+// loadFiles parses and typechecks an in-memory package. Sharing a pooled
+// FileSet across packages is safe for extraction: positions are only
+// ever compared within one package (a package's files parse
+// consecutively, so their offsets are mutually ordered) and nothing
+// downstream renders absolute offsets.
+func loadFiles(dir string, names []string, srcs [][]byte, opts Options) (*Package, error) {
+	bundle := acquireBundle(opts)
+	defer releaseBundle(bundle, opts)
+	fset := bundle.fset
 	var files []*ast.File
 	pkgName := ""
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	for i, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), srcs[i], parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +335,7 @@ func loadDir(dir string, opts Options) (*Package, error) {
 	}
 	pkg := &Package{Dir: dir, Name: pkgName, Fset: fset, Files: files, Sizes: sizes}
 	conf := types.Config{
-		Importer:         importer.ForCompiler(fset, "source", nil),
+		Importer:         bundle.imp,
 		Sizes:            sizes,
 		FakeImportC:      true,
 		IgnoreFuncBodies: false,
@@ -264,59 +367,52 @@ type Report struct {
 	// Suggestions hold fieldalignment-style reordering diffs for structs
 	// with certain co-located write-sharing.
 	Suggestions []Suggestion
-	// Model is the lowered program (nil when Err is set); tests and the
-	// CLI's -lint-json reuse it.
+	// NumStructs, NumThreads and Notes summarize the lowered model for
+	// rendering — carried on the report so cached replays (which have no
+	// Model) render identically to fresh analysis.
+	NumStructs int
+	NumThreads int
+	Notes      []string
+	// Model is the lowered program, nil when Err is set or the report
+	// was replayed from the cache; tests and the CLI's -lint-json reuse
+	// it.
 	Model *Model
+	// CacheHit marks a report served from Options.Cache.
+	CacheHit bool
 	// Err is a per-package load or analysis failure: the run degrades to
 	// a lint-skipped finding instead of dying.
 	Err error
 }
 
-// Run loads every package the patterns name and lints each: the one-call
-// frontend the CLI wraps. Per-package failures degrade into a Report
-// with Err set (and a lint-skipped finding from AllFindings); only a run
-// where nothing loads at all returns an error.
+// Run loads every package the patterns name and lints each, in parallel
+// with gather-by-index (byte-identical output at any -j): the one-call
+// frontend the CLI wraps. Per-package failures and patterns matching no
+// packages degrade into Reports with Err set (lint-skipped findings via
+// AllFindings) so the caller decides the exit policy; only an empty
+// pattern set errors. With Options.Cache set, package reports replay
+// from the content-addressed cache instead of re-analyzing.
 func Run(patterns []string, opts Options) ([]*Report, error) {
 	opts = opts.withDefaults()
-	pkgs, loadErrs, err := Load(patterns, opts)
+	dirs, unmatched, err := expandPatterns(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var reports []*Report
-	for _, lerr := range loadErrs {
-		reports = append(reports, &Report{Package: loadErrPath(lerr), Err: lerr})
+	if len(dirs) == 0 && len(unmatched) == 0 {
+		return nil, fmt.Errorf("gofront: no Go packages match %v", patterns)
 	}
-	for _, pkg := range pkgs {
-		reports = append(reports, LintPackage(pkg, opts))
+	reports := make([]*Report, 0, len(dirs)+len(unmatched))
+	for _, pat := range unmatched {
+		reports = append(reports, &Report{
+			Package: pat,
+			Err:     fmt.Errorf("%s: pattern matched no Go packages", pat),
+		})
 	}
+	linted, _ := parallel.Map(len(dirs), func(i int) (*Report, error) {
+		return lintDir(dirs[i], opts), nil
+	})
+	reports = append(reports, linted...)
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Package < reports[j].Package })
-	analyzed := 0
-	for _, r := range reports {
-		if r.Err == nil {
-			analyzed++
-		}
-	}
-	if analyzed == 0 {
-		return nil, fmt.Errorf("gofront: every package failed to lint: %v", firstErr(reports))
-	}
 	return reports, nil
-}
-
-func loadErrPath(err error) string {
-	s := err.Error()
-	if i := strings.Index(s, ":"); i > 0 {
-		return s[:i]
-	}
-	return s
-}
-
-func firstErr(reports []*Report) error {
-	for _, r := range reports {
-		if r.Err != nil {
-			return r.Err
-		}
-	}
-	return nil
 }
 
 // LintPackage extracts, lowers and lints one loaded package.
@@ -329,7 +425,14 @@ func LintPackage(pkg *Package, opts Options) *Report {
 		return rep
 	}
 	rep.Model = model
-	findings, res, err := staticshare.LintFile(model.File, opts.LineSize)
+	rep.NumStructs = len(model.Structs)
+	rep.NumThreads = len(model.File.Threads)
+	rep.Notes = model.Notes
+	lint := staticshare.LintFile
+	if opts.ExactClassify {
+		lint = staticshare.LintFileExact
+	}
+	findings, res, err := lint(model.File, opts.LineSize)
 	if err != nil {
 		rep.Err = fmt.Errorf("%s: %w", pkg.Dir, err)
 		return rep
@@ -380,7 +483,7 @@ func RenderText(reports []*Report) string {
 			fmt.Fprintf(&b, "package %s: skipped: %s\n", r.Package, strings.TrimPrefix(r.Err.Error(), r.Package+": "))
 		case len(r.Findings) == 0:
 			fmt.Fprintf(&b, "package %s: clean (%d struct(s), %d thread(s))\n",
-				r.Package, len(r.Model.Structs), len(r.Model.File.Threads))
+				r.Package, r.NumStructs, r.NumThreads)
 		default:
 			fmt.Fprintf(&b, "package %s: %d finding(s)\n", r.Package, len(r.Findings))
 			for _, f := range r.Findings {
@@ -393,18 +496,11 @@ func RenderText(reports []*Report) string {
 				}
 			}
 		}
-		for _, note := range modelNotes(r) {
+		for _, note := range r.Notes {
 			fmt.Fprintf(&b, "  note: %s\n", note)
 		}
 	}
 	return b.String()
-}
-
-func modelNotes(r *Report) []string {
-	if r.Model == nil {
-		return nil
-	}
-	return r.Model.Notes
 }
 
 // Format returns the lowered program in irtext syntax: the bridge into

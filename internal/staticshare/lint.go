@@ -160,7 +160,12 @@ func (r *Result) lintLockImbalance() []Finding {
 // lintPerThreadLocks flags fields written to a provably shared instance
 // while every "protecting" lock resolves to distinct instances across the
 // conflicting threads: the classic bug of guarding shared data with a
-// per-thread (or per-object) lock.
+// per-thread (or per-object) lock. The lockedButShared verdict depends
+// only on the two accesses' conflict keys (instance expression, reaching
+// threads, held set), so it is derived once per same-field signature
+// pair instead of once per access pair; the weight accumulation then
+// replays per access in the original order, keeping output identical to
+// the old O(accesses²) walk.
 func (r *Result) lintPerThreadLocks() []Finding {
 	type key struct {
 		structName string
@@ -176,27 +181,62 @@ func (r *Result) lintPerThreadLocks() []Finding {
 	var keys []key
 	for _, name := range names {
 		idxs := r.byStruct[name]
-		for x := 0; x < len(idxs); x++ {
-			a1 := &r.Accesses[idxs[x]]
-			if !a1.Write || a1.IsLock || len(a1.Held) == 0 {
+		// Group the struct's accesses by (field, conflictKey).
+		type gkey struct {
+			field int
+			ck    conflictKey
+		}
+		gid := make(map[gkey]int)
+		gidOf := make([]int, len(idxs))
+		var reps []*Access
+		var gkeys []gkey
+		for x, ai := range idxs {
+			a := &r.Accesses[ai]
+			k := gkey{a.Field, conflictKey{a.Inst, threadsKey(a.Threads), heldKeyEnc(a.Held)}}
+			id, ok := gid[k]
+			if !ok {
+				id = len(reps)
+				gid[k] = id
+				reps = append(reps, a)
+				gkeys = append(gkeys, k)
+			}
+			gidOf[x] = id
+		}
+		// One verdict per same-field group pair (self-pairs included:
+		// two threads can race through the same instruction).
+		verdicts := make(map[[2]conflictKey]bool)
+		matched := make([]bool, len(reps))
+		for i := range reps {
+			for j := range reps {
+				if gkeys[i].field != gkeys[j].field || matched[i] {
+					continue
+				}
+				k1, k2 := gkeys[i].ck, gkeys[j].ck
+				if k2.less(k1) {
+					k1, k2 = k2, k1
+				}
+				mk := [2]conflictKey{k1, k2}
+				v, ok := verdicts[mk]
+				if !ok {
+					v = r.lockedButShared(reps[i], reps[j])
+					verdicts[mk] = v
+				}
+				if v {
+					matched[i] = true
+				}
+			}
+		}
+		for x, ai := range idxs {
+			a1 := &r.Accesses[ai]
+			if !a1.Write || a1.IsLock || len(a1.Held) == 0 || !matched[gidOf[x]] {
 				continue
 			}
-			for y := 0; y < len(idxs); y++ {
-				a2 := &r.Accesses[idxs[y]]
-				if a2.Field != a1.Field {
-					continue
-				}
-				if !r.lockedButShared(a1, a2) {
-					continue
-				}
-				lockName := heldName(r.Prog, a1.Held)
-				k := key{name, a1.Field, lockName}
-				if _, dup := agg[k]; !dup {
-					keys = append(keys, k)
-				}
-				agg[k] += a1.Freq
-				break
+			lockName := heldName(r.Prog, a1.Held)
+			k := key{name, a1.Field, lockName}
+			if _, dup := agg[k]; !dup {
+				keys = append(keys, k)
 			}
+			agg[k] += a1.Freq
 		}
 	}
 	var out []Finding
@@ -332,10 +372,23 @@ func MarshalFindings(fs []Finding) ([]byte, error) {
 // the file's declared threads and arenas, then lint against
 // declaration-order layouts at the given coherence-line size.
 func LintFile(f *irtext.File, lineSize int) ([]Finding, *Result, error) {
+	return lintFile(f, lineSize, false)
+}
+
+// LintFileExact is LintFile forced through the exact per-access-pair
+// classification walk — the differential oracle for tests and the
+// golint-bench baseline stage.
+func LintFileExact(f *irtext.File, lineSize int) ([]Finding, *Result, error) {
+	return lintFile(f, lineSize, true)
+}
+
+func lintFile(f *irtext.File, lineSize int, exact bool) ([]Finding, *Result, error) {
 	if f == nil || f.Prog == nil {
 		return nil, nil, fmt.Errorf("staticshare: nil file")
 	}
-	res, err := Analyze(f.Prog, FileConfig(f))
+	cfg := FileConfig(f)
+	cfg.ExactClassify = exact
+	res, err := Analyze(f.Prog, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

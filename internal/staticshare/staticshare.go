@@ -64,6 +64,12 @@ type Config struct {
 	// FileConfig fills the interpreter's one-instance default for
 	// accessed-but-undeclared structs.
 	Arenas map[string]int
+	// ExactClassify selects the original O(accesses²) per-access-pair
+	// classification walk instead of the summary-based path. The two are
+	// bit-identical by construction (the differential tests pin it);
+	// the exact walk survives only as the oracle for those tests and the
+	// golint-bench baseline stage.
+	ExactClassify bool
 }
 
 // FileConfig derives the analysis configuration from a parsed DSL file:
@@ -227,9 +233,10 @@ type Result struct {
 	// absent from the inner map are NeverShared.
 	Pairs map[string]map[[2]int]PairInfo
 
-	byStruct map[string][]int // struct name -> indices into Accesses
-	reach    map[string][]int // proc name -> sorted thread indices
-	procFreq map[string]float64
+	byStruct  map[string][]int // struct name -> indices into Accesses
+	reach     map[string][]int // proc name -> sorted thread indices
+	procFreq  map[string]float64
+	summaries map[string]*ProcSummary // summary path only; nil under ExactClassify
 }
 
 // Analyze runs the full analysis. Damaged inputs degrade instead of
@@ -280,96 +287,12 @@ func Analyze(p *ir.Program, cfg Config) (res *Result, err error) {
 	}
 
 	r.collectAccesses(localFreq)
-	r.classify()
+	if cfg.ExactClassify {
+		r.classifyExact()
+	} else {
+		r.classifySummary(localFreq)
+	}
 	return r, nil
-}
-
-// computeReach propagates thread sets over the call graph to a fixpoint:
-// reach[proc] is the sorted set of thread indices whose execution can
-// enter proc.
-func (r *Result) computeReach() {
-	sets := make(map[string]map[int]bool)
-	ensure := func(proc string) map[int]bool {
-		s := sets[proc]
-		if s == nil {
-			s = make(map[int]bool)
-			sets[proc] = s
-		}
-		return s
-	}
-	for ti, t := range r.Threads {
-		ensure(t.Proc)[ti] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, pr := range r.Prog.Procs {
-			src := sets[pr.Name]
-			if len(src) == 0 {
-				continue
-			}
-			for _, b := range pr.Blocks {
-				for _, in := range b.Instrs {
-					if in.Op != ir.OpCall {
-						continue
-					}
-					dst := ensure(in.Callee)
-					for ti := range src {
-						if !dst[ti] {
-							dst[ti] = true
-							changed = true
-						}
-					}
-				}
-			}
-		}
-	}
-	for proc, s := range sets {
-		out := make([]int, 0, len(s))
-		for ti := range s {
-			out = append(out, ti)
-		}
-		sort.Ints(out)
-		r.reach[proc] = out
-	}
-}
-
-// computeFreq estimates static execution frequencies. It returns each
-// block's frequency per single entry of its procedure (loop trip counts ×
-// branch probabilities) and fills procFreq with the interprocedural entry
-// frequency (thread iteration counts propagated through call sites,
-// callers before callees).
-func (r *Result) computeFreq() map[ir.BlockID]float64 {
-	local := make(map[ir.BlockID]float64)
-	for _, pr := range r.Prog.Procs {
-		walkFreq(pr.Tree, 1, local)
-	}
-	// Entry frequencies from the thread declarations.
-	for _, t := range r.Threads {
-		iters := t.Iters
-		if iters <= 0 {
-			iters = 1
-		}
-		r.procFreq[t.Proc] += float64(iters)
-	}
-	// Propagate through call sites, callers before callees. The call
-	// graph is acyclic in finalized programs; a damaged one falls back to
-	// entry-only frequencies (ranking degrades, nothing breaks).
-	if order, ok := callOrder(r.Prog); ok {
-		for _, pr := range order {
-			f := r.procFreq[pr.Name]
-			if f == 0 {
-				continue
-			}
-			for _, b := range pr.Blocks {
-				for _, in := range b.Instrs {
-					if in.Op == ir.OpCall {
-						r.procFreq[in.Callee] += f * local[b.Global]
-					}
-				}
-			}
-		}
-	}
-	return local
 }
 
 // walkFreq accumulates per-entry block frequencies over the execution
@@ -398,53 +321,6 @@ func walkFreq(nodes []ir.ExecNode, f float64, out map[ir.BlockID]float64) {
 			}
 		}
 	}
-}
-
-// callOrder returns procedures callers-before-callees, or ok=false when
-// the call graph is damaged (cycles, unknown callees).
-func callOrder(p *ir.Program) ([]*ir.Procedure, bool) {
-	indeg := make(map[string]int, len(p.Procs))
-	callees := make(map[string]map[string]bool)
-	for _, pr := range p.Procs {
-		indeg[pr.Name] += 0
-		for _, b := range pr.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op != ir.OpCall || p.Proc(in.Callee) == nil {
-					continue
-				}
-				if callees[pr.Name] == nil {
-					callees[pr.Name] = make(map[string]bool)
-				}
-				if !callees[pr.Name][in.Callee] {
-					callees[pr.Name][in.Callee] = true
-					indeg[in.Callee]++
-				}
-			}
-		}
-	}
-	var ready []string
-	for name, n := range indeg {
-		if n == 0 {
-			ready = append(ready, name)
-		}
-	}
-	sort.Strings(ready)
-	var order []*ir.Procedure
-	for len(ready) > 0 {
-		name := ready[0]
-		ready = ready[1:]
-		order = append(order, p.Proc(name))
-		var next []string
-		for callee := range callees[name] {
-			indeg[callee]--
-			if indeg[callee] == 0 {
-				next = append(next, callee)
-			}
-		}
-		sort.Strings(next)
-		ready = append(ready, next...)
-	}
-	return order, len(order) == len(p.Procs)
 }
 
 // collectAccesses records every field-touching instruction with its
@@ -640,8 +516,13 @@ func (r *Result) conflictVerdict(a1, a2 *Access) (ov overlapKind, excluded bool)
 	return ov, excluded
 }
 
-// classify aggregates access-pair verdicts into per-field-pair classes.
-func (r *Result) classify() {
+// classifyExact is the original per-access-pair classification walk,
+// kept behind Config.ExactClassify as the oracle the summary path is
+// differentially tested against: O(accesses²) pairs per struct, the
+// thread/lock/instance verdict re-derived for every pair. It feeds the
+// same order-canonical aggregator as classifySummary, so both paths
+// produce bit-identical PairInfos.
+func (r *Result) classifyExact() {
 	names := make([]string, 0, len(r.byStruct))
 	for name := range r.byStruct {
 		names = append(names, name)
@@ -649,7 +530,7 @@ func (r *Result) classify() {
 	sort.Strings(names)
 	for _, name := range names {
 		idxs := r.byStruct[name]
-		pairs := make(map[[2]int]PairInfo)
+		aggs := make(map[[2]int]*pairAgg)
 		for x := 0; x < len(idxs); x++ {
 			a1 := &r.Accesses[idxs[x]]
 			for y := x + 1; y < len(idxs); y++ {
@@ -661,38 +542,25 @@ func (r *Result) classify() {
 				if ov == ovNo && !excluded {
 					continue
 				}
-				key := pairKey(a1.Field, a2.Field)
-				info := pairs[key]
-				var class PairClass
-				certain := false
-				switch {
-				case ov != ovNo && (a1.Write || a2.Write):
-					class = WriteShared
-					certain = ov == ovMust
-				case ov != ovNo:
-					class = ReadShared
-				default:
-					class = LockSerialized
-				}
+				class, certain := classOf(ov, a1.Write || a2.Write)
 				w := a1.Freq
 				if a2.Freq < w {
 					w = a2.Freq
 				}
-				upgrade := class > info.Class || (class == WriteShared && certain && !info.Certain)
-				if upgrade {
-					info.Class = class
-					info.A1, info.A2 = idxs[x], idxs[y]
+				key := pairKey(a1.Field, a2.Field)
+				agg := aggs[key]
+				if agg == nil {
+					agg = &pairAgg{}
+					aggs[key] = agg
 				}
-				if class == WriteShared {
-					info.Certain = info.Certain || certain
-					info.Weight += w
-				} else if class >= info.Class {
-					info.Weight += w
-				}
-				pairs[key] = info
+				agg.addPair(class, certain, w, idxs[x], idxs[y])
 			}
 		}
-		if len(pairs) > 0 {
+		if len(aggs) > 0 {
+			pairs := make(map[[2]int]PairInfo, len(aggs))
+			for k, agg := range aggs {
+				pairs[k] = agg.finalize()
+			}
 			r.Pairs[name] = pairs
 		}
 	}
