@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -209,9 +210,22 @@ func runLint(programIn, lintDir, lintJSON, collectOn string, seed, scripts int64
 	return 0
 }
 
-// writeFindingsJSON writes ranked findings as JSON to a file or stdout.
+// lintJSONSchemaVersion versions the -lint-json envelope so consumers
+// can select on it before parsing the findings array. Bump it whenever
+// the envelope or the Finding encoding changes incompatibly.
+const lintJSONSchemaVersion = 1
+
+// writeFindingsJSON writes ranked findings as a versioned JSON envelope
+// ({schemaVersion, findings}) to a file or stdout.
 func writeFindingsJSON(findings []staticshare.Finding, dest string) error {
-	raw, err := staticshare.MarshalFindings(findings)
+	inner, err := staticshare.MarshalFindings(findings)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(struct {
+		SchemaVersion int             `json:"schemaVersion"`
+		Findings      json.RawMessage `json:"findings"`
+	}{lintJSONSchemaVersion, inner}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,32 @@
+// Package chanstage is a two-stage pipeline over an unbuffered
+// channel: the parse stage fills the record, hands it over, and the
+// digest stage writes its result into the adjacent field. Flat thread
+// modeling flags the two writes as certain false sharing; the
+// rendezvous edge on the unbuffered channel orders parse before
+// digest, so the package lints clean.
+package chanstage
+
+// Record carries the parse output and its digest side by side.
+type Record struct {
+	payload int64
+	digest  int64
+}
+
+var rec Record
+var handed = make(chan struct{})
+
+// Run wires the two stages together.
+func Run() {
+	go parse()
+	go digest()
+}
+
+func parse() {
+	rec.payload = 40
+	handed <- struct{}{}
+}
+
+func digest() {
+	<-handed
+	rec.digest = rec.payload + 2
+}

@@ -1,0 +1,34 @@
+// Package handoff transfers exclusive ownership of a buffer through an
+// unbuffered channel: the filler initializes it, signals, and never
+// touches it again; the owner then mutates every field freely. Without
+// the happens-before edge the two writers look like certain false
+// sharing on adjacent fields; with it, every access pair is ordered
+// and the package lints clean.
+package handoff
+
+// Buffer is written by the filler first and owned by the drainer after
+// the handoff.
+type Buffer struct {
+	data int64
+	seen int64
+}
+
+var buf Buffer
+var pass = make(chan struct{})
+
+// Run starts the filler and the new owner.
+func Run() {
+	go fill()
+	go own()
+}
+
+func fill() {
+	buf.data = 7
+	pass <- struct{}{}
+}
+
+func own() {
+	<-pass
+	buf.seen = buf.data
+	buf.data = 0
+}

@@ -1,0 +1,43 @@
+// Package wgfanout fans two scan workers out over a WaitGroup and
+// aggregates after Wait. Each worker owns its shard, but the
+// aggregation writes sum right next to the worker-written hits — under
+// the flat all-threads-overlap model that is a certain false-sharing
+// finding. The Add/Done/Wait discipline proves the joins, which order
+// the aggregation after both workers, so the package lints clean.
+package wgfanout
+
+import "sync"
+
+// Shard keeps a worker counter and its post-join aggregate adjacent.
+type Shard struct {
+	hits int64
+	sum  int64
+}
+
+var left Shard
+var right Shard
+var wg sync.WaitGroup
+
+// Run launches both scans and aggregates once they are done.
+func Run() {
+	wg.Add(2)
+	go scanLeft()
+	go scanRight()
+	wg.Wait()
+	left.sum = left.hits * 2
+	right.sum = right.hits * 2
+}
+
+func scanLeft() {
+	defer wg.Done()
+	for i := 0; i < 512; i++ {
+		left.hits++
+	}
+}
+
+func scanRight() {
+	defer wg.Done()
+	for i := 0; i < 512; i++ {
+		right.hits++
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"structlayout/internal/diag"
+	"structlayout/internal/ir"
 	"structlayout/internal/layout"
 	"structlayout/internal/machine"
 	"structlayout/internal/staticshare"
@@ -167,5 +168,88 @@ func TestAnalysisLint(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("lint should flag the co-located write-shared field w; got %+v", findings)
+	}
+}
+
+// TestStaticInvarianceOnSyncProgram is the spawn-aware variant of the
+// clean-trace invariance pin: a program carrying structured spawn/join
+// statements runs the happens-before layer (tasks discovered, ordering
+// claimed), yet on a clean trace the layouts and the quality score must
+// stay byte-identical to the analysis without the static pass — the
+// refinement may only remove claimed concurrency, never perturb a
+// healthy dynamic result.
+func TestStaticInvarianceOnSyncProgram(t *testing.T) {
+	p := ir.NewProgram("toolcase")
+	s := ir.NewStruct("S",
+		ir.I64("a0"), ir.I64("a1"), ir.I64("w"),
+		ir.I64("c0"), ir.I64("c1"),
+	)
+	p.AddStruct(s)
+	reader := p.NewProc("reader")
+	reader.Loop(400, func(b *ir.Builder) {
+		b.Read(s, "a0", ir.LoopVar())
+		b.Read(s, "a1", ir.LoopVar())
+		b.Compute(30)
+	})
+	reader.Done()
+	writer := p.NewProc("writer")
+	writer.Loop(400, func(b *ir.Builder) {
+		b.Write(s, "w", ir.Shared(0))
+		b.Compute(40)
+	})
+	writer.Done()
+	helper := p.NewProc("helper")
+	helper.Write(s, "w", ir.Shared(0))
+	helper.Done()
+	main0 := p.NewProc("main0")
+	main0.Call("reader")
+	main0.Spawn("h", 5, "helper")
+	main0.Call("writer")
+	main0.Join("h")
+	main0.Done()
+	prog := p.MustFinalize()
+
+	pf, trace := collect(t, prog, s)
+	opts := Options{LineSize: 128, SliceCycles: 2000}
+	without, err := NewAnalysis(prog, pf, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Static = scenarioStatic()
+	with, err := NewAnalysis(prog, pf, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Static == nil {
+		t.Fatalf("static analysis did not run; diagnostics:\n%s", with.Diag)
+	}
+	// Each of the four root threads spawns its own helper task.
+	if got := len(with.Static.Threads); got != 8 {
+		t.Fatalf("got %d static tasks, want 8 (4 roots + 4 spawned)", got)
+	}
+	if with.Static.HBDegraded() {
+		t.Fatal("joined spawn must not degrade the happens-before layer")
+	}
+	if with.Quality.Score != without.Quality.Score {
+		t.Fatalf("clean-trace quality moved: %v -> %v", without.Quality.Score, with.Quality.Score)
+	}
+	if !with.Quality.HasStaticCheck || with.Quality.StaticAgreement != 1 {
+		t.Fatalf("clean trace should cross-check with full agreement, got %v (has=%v)",
+			with.Quality.StaticAgreement, with.Quality.HasStaticCheck)
+	}
+	sw, err := without.Suggest("S", origLayout(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := with.Suggest("S", origLayout(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Auto.Dump() != ss.Auto.Dump() {
+		t.Fatalf("clean-trace layout moved with the spawn-aware static prior enabled:\n--- without ---\n%s--- with ---\n%s",
+			sw.Auto.Dump(), ss.Auto.Dump())
+	}
+	if hasDiag(with, diag.Info, "static-prior") {
+		t.Fatal("prior was blended into a clean-trace analysis")
 	}
 }

@@ -508,6 +508,11 @@ func (r *Runner) decode() error {
 				d.pattern = in.Pattern
 				d.stride = in.Stride
 				d.offset = in.Offset
+			case ir.OpSpawn, ir.OpJoin, ir.OpSend, ir.OpRecv:
+				// Static-only fork/join skeleton markers: the interpreter
+				// models spawned tasks as declared threads, so these carry no
+				// dynamic semantics here (staticshare derives happens-before
+				// from them).
 			default:
 				return fmt.Errorf("exec: unknown opcode %d", in.Op)
 			}

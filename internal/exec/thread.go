@@ -290,6 +290,8 @@ func (g *engine) execInstr(t *thread, in *decInstr) error {
 		return g.execLock(t, in)
 	case ir.OpUnlock:
 		return g.execUnlock(t, in)
+	case ir.OpSpawn, ir.OpJoin, ir.OpSend, ir.OpRecv:
+		// Static-only markers (see decode): no time, no traffic.
 	default:
 		return fmt.Errorf("exec: unknown opcode %d", in.op)
 	}

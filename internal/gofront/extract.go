@@ -70,6 +70,7 @@ type spawn struct {
 	recv   ast.Expr // method receiver at the spawn site, nil otherwise
 	args   []ast.Expr
 	inLoop bool
+	stmt   *ast.GoStmt // the spawn site, for structured-emission planning
 }
 
 type extractor struct {
@@ -97,6 +98,14 @@ type extractor struct {
 	notes    []string
 	emitted  int // accesses/statements emitted by the current lowering
 	deferred []func(*ir.Builder)
+
+	// Structured-sync plan (see syncplan.go): `go` sites lowered as
+	// spawn statements, WaitGroup Waits that become joins, and channel
+	// endpoints that become rendezvous send/recv statements.
+	spawnPlan map[*ast.GoStmt]*structuredSpawn
+	joinAt    map[ast.Stmt][]string
+	sendAt    map[ast.Stmt]string
+	recvAt    map[ast.Stmt]string
 }
 
 // Extract lowers a loaded package into the IR plus its thread and arena
@@ -129,6 +138,7 @@ func Extract(pkg *Package, opts Options) (m *Model, err error) {
 	}
 	e.assignInstances()
 	e.breakCycles()
+	e.planSync()
 	e.declareThreads()
 	for _, fn := range e.funcs {
 		e.lowerFunc(fn)
@@ -386,7 +396,7 @@ func (e *extractor) prescan(fn *goFunc) {
 				e.note("proc %s: `go` statement target not a package function; thread dropped", fn.proc)
 				return
 			}
-			fn.spawns = append(fn.spawns, &spawn{callee: callee, recv: recv, args: n.Call.Args, inLoop: inLoop})
+			fn.spawns = append(fn.spawns, &spawn{callee: callee, recv: recv, args: n.Call.Args, inLoop: inLoop, stmt: n})
 		case *ast.CallExpr:
 			for _, arg := range n.Args {
 				walk(arg, inLoop)
@@ -664,7 +674,10 @@ func (e *extractor) breakCycles() {
 // function containing a `go` statement runs as a thread itself (the
 // spawning goroutine), and each `go` site contributes one thread — or
 // SpawnsPerLoopGo when the spawn sits in a loop, so distinct-thread
-// conflicts on the spawned body exist. MaxThreads caps the total.
+// conflicts on the spawned body exist. Structured spawn sites are
+// declared by the spawn statement instead; they only reserve a CPU
+// number here, so flat and structured threads share one numbering.
+// MaxThreads caps the total.
 func (e *extractor) declareThreads() {
 	cpu := 0
 	capped := false
@@ -682,6 +695,14 @@ func (e *extractor) declareThreads() {
 		}
 		add(fn.proc, nil)
 		for _, sp := range fn.spawns {
+			if pl := e.spawnPlan[sp.stmt]; pl != nil {
+				if cpu < e.opts.MaxThreads {
+					pl.cpu = cpu
+					cpu++
+					continue
+				}
+				e.demoteSpawn(pl)
+			}
 			n := 1
 			if sp.inLoop {
 				n = e.opts.SpawnsPerLoopGo

@@ -50,8 +50,28 @@ func (e *extractor) lowerStmt(b *ir.Builder, fn *goFunc, stmt ast.Stmt) {
 			e.lowerStmt(b, fn, st)
 		}
 	case *ast.ExprStmt:
+		if handles, ok := e.joinAt[stmt]; ok {
+			// A proven wg.Wait(): joins order every structured worker's
+			// completion before the code below the Wait.
+			for _, h := range handles {
+				b.Join(h)
+				e.emitted++
+			}
+			return
+		}
+		if name, ok := e.recvAt[stmt]; ok {
+			b.Recv(name)
+			e.emitted++
+			return
+		}
 		e.lowerExpr(b, fn, s.X)
 	case *ast.AssignStmt:
+		if name, ok := e.recvAt[stmt]; ok {
+			// v := <-ch: the receive precedes the store, so the store
+			// lands in the post-receive segment.
+			b.Recv(name)
+			e.emitted++
+		}
 		for _, rhs := range s.Rhs {
 			e.lowerExpr(b, fn, rhs)
 		}
@@ -64,14 +84,19 @@ func (e *extractor) lowerStmt(b *ir.Builder, fn *goFunc, stmt ast.Stmt) {
 	case *ast.IncDecStmt:
 		e.lowerWrite(b, fn, s.X)
 	case *ast.GoStmt:
-		// Thread creation is modeled by declareThreads; here only the
-		// argument evaluation happens on the spawning thread. A directly
-		// spawned literal's body belongs to its synthetic procedure.
+		// Thread creation is modeled by declareThreads (flat) or a spawn
+		// statement (structured); either way argument evaluation happens
+		// on the spawning thread. A directly spawned literal's body
+		// belongs to its synthetic procedure.
 		for _, arg := range s.Call.Args {
 			e.lowerExpr(b, fn, arg)
 		}
 		if _, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); !ok {
 			e.lowerExpr(b, fn, s.Call.Fun)
+		}
+		if pl := e.spawnPlan[s]; pl != nil && pl.cpu >= 0 {
+			b.Spawn(pl.handle, pl.cpu, pl.sp.callee.proc, pl.params...)
+			e.emitted++
 		}
 	case *ast.DeferStmt:
 		if call, ok := e.mutexCall(s.Call); ok && !call.acquire {
@@ -123,6 +148,14 @@ func (e *extractor) lowerStmt(b *ir.Builder, fn *goFunc, stmt ast.Stmt) {
 	case *ast.SelectStmt:
 		e.lowerClauses(b, fn, s.Body)
 	case *ast.SendStmt:
+		if name, ok := e.sendAt[stmt]; ok {
+			// The value is produced before the rendezvous, so its
+			// accesses land in the pre-send segment.
+			e.lowerExpr(b, fn, s.Value)
+			b.Send(name)
+			e.emitted++
+			return
+		}
 		e.lowerExpr(b, fn, s.Chan)
 		e.lowerExpr(b, fn, s.Value)
 	case *ast.LabeledStmt:

@@ -1,0 +1,432 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// structuredSpawn is a `go` site lowered as a structured spawn
+// statement instead of a flat thread declaration. cpu is assigned by
+// declareThreads so numbering stays continuous with flat threads; -1
+// until then.
+type structuredSpawn struct {
+	sp     *spawn
+	handle string
+	params []int
+	cpu    int
+}
+
+// planSync decides which goroutine structure lowers to the DSL's
+// structured sync statements (spawn/join/send/recv) rather than the
+// flat all-threads-overlap model. Flat is the sound fallback, so every
+// rule here only needs to be sufficient, never complete — anything
+// unprovable simply stays flat. Sufficiency matters in one direction
+// only: a claimed ordering (join, channel edge) must hold in every real
+// execution, while an unjoined structured spawn merely starts the child
+// at the `go` point, which is exact.
+func (e *extractor) planSync() {
+	e.spawnPlan = make(map[*ast.GoStmt]*structuredSpawn)
+	e.joinAt = make(map[ast.Stmt][]string)
+	e.sendAt = make(map[ast.Stmt]string)
+	e.recvAt = make(map[ast.Stmt]string)
+	// Sync statements are rejected by ir.Finalize inside procedures that
+	// are called, so emission is gated on never-called — computed from
+	// the pre-breakCycles call lists, which over-approximates reachable
+	// calls and is therefore safe.
+	called := make(map[string]bool)
+	for _, fn := range e.funcs {
+		for _, c := range fn.calls {
+			called[c] = true
+		}
+	}
+	handles := 0
+	for _, fn := range e.funcs {
+		e.planSpawns(fn, called, &handles)
+	}
+	e.planChannels(called)
+}
+
+// planSpawns structures the eligible `go` sites of one function and,
+// where a sync.WaitGroup provably joins exactly those sites, attaches
+// join edges to its Wait call.
+//
+// A `go` site is structured when it sits directly in the function's
+// top-level statement list (the DSL allows sync statements only
+// there), is not in a loop, resolves to a same-package leaf callee (no
+// nested `go`: keeps the spawn graph a tree), and the spawner itself is
+// never called.
+//
+// Joins require real proof: one top-level Wait, every Add top-level
+// with a constant argument, the Add sum equal to the number of
+// structured spawns whose callee calls Done exactly once (top-level or
+// deferred), every spawn site textually before the Wait, and no other
+// use of the WaitGroup anywhere in the package. Any unaccounted use —
+// an Add in a loop, the group passed to a helper, a Done in a flat
+// thread — rejects the joins while keeping the spawns.
+func (e *extractor) planSpawns(fn *goFunc, called map[string]bool, handles *int) {
+	if len(fn.spawns) == 0 || called[fn.proc] {
+		return
+	}
+	site := make(map[*ast.GoStmt]*spawn, len(fn.spawns))
+	for _, sp := range fn.spawns {
+		if sp.stmt != nil && !sp.inLoop {
+			site[sp.stmt] = sp
+		}
+	}
+	type wgInfo struct {
+		addSum  int64
+		addBad  bool
+		waits   []ast.Stmt
+		waitPos int
+		accepts map[*ast.Ident]bool
+	}
+	wgs := make(map[*types.Var]*wgInfo)
+	info := func(v *types.Var) *wgInfo {
+		w := wgs[v]
+		if w == nil {
+			w = &wgInfo{accepts: make(map[*ast.Ident]bool)}
+			wgs[v] = w
+		}
+		return w
+	}
+	type plannedSpawn struct {
+		pl  *structuredSpawn
+		pos int
+	}
+	var planned []plannedSpawn
+	for i, stmt := range fn.body.List {
+		switch s := stmt.(type) {
+		case *ast.GoStmt:
+			sp := site[s]
+			if sp == nil || sp.callee == fn || len(sp.callee.spawns) > 0 {
+				continue
+			}
+			pl := &structuredSpawn{sp: sp, handle: fmt.Sprintf("g%d", *handles), params: e.spawnParams(sp), cpu: -1}
+			*handles++
+			e.spawnPlan[s] = pl
+			planned = append(planned, plannedSpawn{pl, i})
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			v, id, method, ok := e.waitGroupCall(call)
+			if !ok {
+				continue
+			}
+			w := info(v)
+			switch method {
+			case "Add":
+				if k, ok := e.constArg(call); ok {
+					w.addSum += k
+					w.accepts[id] = true
+				} else {
+					w.addBad = true
+				}
+			case "Wait":
+				w.waits = append(w.waits, stmt)
+				w.waitPos = i
+			}
+		}
+	}
+	for v, w := range wgs {
+		if w.addBad || len(w.waits) != 1 {
+			continue
+		}
+		// Re-find the Wait's receiver ident to whitelist it.
+		if call, ok := w.waits[0].(*ast.ExprStmt).X.(*ast.CallExpr); ok {
+			if _, id, _, ok := e.waitGroupCall(call); ok {
+				w.accepts[id] = true
+			}
+		}
+		var hs []string
+		ordered := true
+		for _, ps := range planned {
+			doneID := e.soleDoneIdent(ps.pl.sp.callee, v)
+			if doneID == nil {
+				continue
+			}
+			if ps.pos > w.waitPos {
+				// A worker spawned after the Wait shares the group's
+				// counter; the arithmetic proof no longer covers it.
+				ordered = false
+				break
+			}
+			w.accepts[doneID] = true
+			hs = append(hs, ps.pl.handle)
+		}
+		if !ordered || len(hs) == 0 || int64(len(hs)) != w.addSum {
+			continue
+		}
+		if !e.usesWhitelisted(v, w.accepts) {
+			continue
+		}
+		e.joinAt[w.waits[0]] = hs
+	}
+}
+
+// planChannels finds channels provably usable as single rendezvous
+// edges: an unbuffered make-initialized variable whose every use in the
+// package is exactly one top-level send and one top-level receive, in
+// distinct never-called functions. close(), select, range, buffered
+// makes or passing the channel around all disqualify it — any of those
+// lets the receive complete or repeat without the matching send.
+func (e *extractor) planChannels(called map[string]bool) {
+	type endpoint struct {
+		fn   *goFunc
+		stmt ast.Stmt
+		id   *ast.Ident
+	}
+	type chanInfo struct {
+		sends, recvs []endpoint
+	}
+	infos := make(map[*types.Var]*chanInfo)
+	get := func(v *types.Var) *chanInfo {
+		ci := infos[v]
+		if ci == nil {
+			ci = &chanInfo{}
+			infos[v] = ci
+		}
+		return ci
+	}
+	for _, fn := range e.funcs {
+		for _, stmt := range fn.body.List {
+			switch s := stmt.(type) {
+			case *ast.SendStmt:
+				if v, id := e.chanVarOf(s.Chan); v != nil {
+					get(v).sends = append(get(v).sends, endpoint{fn, stmt, id})
+				}
+			case *ast.ExprStmt:
+				if v, id := e.recvOf(s.X); v != nil {
+					get(v).recvs = append(get(v).recvs, endpoint{fn, stmt, id})
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+					if v, id := e.recvOf(s.Rhs[0]); v != nil {
+						get(v).recvs = append(get(v).recvs, endpoint{fn, stmt, id})
+					}
+				}
+			}
+		}
+	}
+	vars := make([]*types.Var, 0, len(infos))
+	for v := range infos {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	n := 0
+	for _, v := range vars {
+		ci := infos[v]
+		if len(ci.sends) != 1 || len(ci.recvs) != 1 {
+			continue
+		}
+		snd, rcv := ci.sends[0], ci.recvs[0]
+		if snd.fn == rcv.fn || called[snd.fn.proc] || called[rcv.fn.proc] {
+			continue
+		}
+		if !e.unbufferedMake(v) {
+			continue
+		}
+		if !e.usesWhitelisted(v, map[*ast.Ident]bool{snd.id: true, rcv.id: true}) {
+			continue
+		}
+		name := fmt.Sprintf("ch%d", n)
+		n++
+		e.sendAt[snd.stmt] = name
+		e.recvAt[rcv.stmt] = name
+	}
+}
+
+// demoteSpawn reverts a structured spawn to the flat model (thread cap
+// reached), dropping any join that referenced its handle.
+func (e *extractor) demoteSpawn(pl *structuredSpawn) {
+	delete(e.spawnPlan, pl.sp.stmt)
+	for stmt, hs := range e.joinAt {
+		out := hs[:0]
+		for _, h := range hs {
+			if h != pl.handle {
+				out = append(out, h)
+			}
+		}
+		if len(out) == 0 {
+			delete(e.joinAt, stmt)
+		} else {
+			e.joinAt[stmt] = out
+		}
+	}
+}
+
+// waitGroupCall recognizes wg.Add/Done/Wait on a bare sync.WaitGroup
+// variable (package-level or captured local), returning the variable
+// and the receiver ident for whitelisting.
+func (e *extractor) waitGroupCall(call *ast.CallExpr) (*types.Var, *ast.Ident, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return nil, nil, "", false
+	}
+	base := ast.Unparen(sel.X)
+	if u, ok := base.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		base = ast.Unparen(u.X)
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return nil, nil, "", false
+	}
+	v, ok := e.objOf(id).(*types.Var)
+	if !ok || !isWaitGroup(v.Type()) {
+		return nil, nil, "", false
+	}
+	return v, id, sel.Sel.Name, true
+}
+
+func isWaitGroup(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// constArg returns the single argument's constant integer value.
+func (e *extractor) constArg(call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := e.pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// soleDoneIdent returns the receiver ident of the callee's single
+// wg.Done() call when that call is top-level or a top-level defer —
+// the shapes that guarantee exactly one Done per task execution.
+func (e *extractor) soleDoneIdent(callee *goFunc, v *types.Var) *ast.Ident {
+	var ids []*ast.Ident
+	ast.Inspect(callee.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if w, id, m, ok := e.waitGroupCall(call); ok && w == v && m == "Done" {
+				ids = append(ids, id)
+			}
+		}
+		return true
+	})
+	if len(ids) != 1 {
+		return nil
+	}
+	for _, stmt := range callee.body.List {
+		var call *ast.CallExpr
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = s.Call
+		}
+		if call == nil {
+			continue
+		}
+		if w, id, m, ok := e.waitGroupCall(call); ok && w == v && m == "Done" && id == ids[0] {
+			return id
+		}
+	}
+	return nil
+}
+
+// usesWhitelisted reports whether every use of v in the package is one
+// of the accepted idents. The scan covers whole files, so uses in
+// package-level initializers and un-lowered bodies count too.
+func (e *extractor) usesWhitelisted(v *types.Var, accepts map[*ast.Ident]bool) bool {
+	good := true
+	for _, f := range e.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if !good {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if e.pkg.Info.Uses[id] == v && !accepts[id] {
+					good = false
+				}
+			}
+			return true
+		})
+	}
+	return good
+}
+
+// chanVarOf resolves a channel expression to its bare variable.
+func (e *extractor) chanVarOf(expr ast.Expr) (*types.Var, *ast.Ident) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := e.objOf(id).(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil, nil
+	}
+	return v, id
+}
+
+// recvOf matches a bare `<-ch` receive expression.
+func (e *extractor) recvOf(expr ast.Expr) (*types.Var, *ast.Ident) {
+	u, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil, nil
+	}
+	return e.chanVarOf(u.X)
+}
+
+// unbufferedMake reports whether v's declaration initializes it with an
+// unbuffered make(chan T). A zero-valued declaration assigned later
+// fails here or in the use whitelist, either way rejecting the channel.
+func (e *extractor) unbufferedMake(v *types.Var) bool {
+	found := false
+	isMake := func(expr ast.Expr) bool {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		_, isBuiltin := e.pkg.Info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	for _, f := range e.pkg.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch d := node.(type) {
+			case *ast.ValueSpec:
+				for i, name := range d.Names {
+					if e.pkg.Info.Defs[name] == v && i < len(d.Values) && isMake(d.Values[i]) {
+						found = true
+					}
+				}
+			case *ast.AssignStmt:
+				if d.Tok != token.DEFINE || len(d.Lhs) != len(d.Rhs) {
+					return true
+				}
+				for i, lhs := range d.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && e.pkg.Info.Defs[id] == v && isMake(d.Rhs[i]) {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

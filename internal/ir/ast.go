@@ -94,6 +94,21 @@ const (
 	OpUnlock
 	// OpCall transfers to another procedure and returns.
 	OpCall
+	// OpSpawn forks a child task running another procedure. The spawn is a
+	// static fork/join skeleton edge (well-structured futures): the static
+	// analysis derives happens-before from it, while the interpreter treats
+	// it as a no-op (spawned tasks are modeled as declared threads, not
+	// dynamically created ones).
+	OpSpawn
+	// OpJoin waits for a previously spawned child task, creating the
+	// matching happens-before edge. A no-op for the interpreter.
+	OpJoin
+	// OpSend is a rendezvous send on a named synchronization channel.
+	// A no-op for the interpreter; a happens-before edge source for the
+	// static analysis when it pairs with a unique OpRecv.
+	OpSend
+	// OpRecv is the matching rendezvous receive.
+	OpRecv
 )
 
 // Instr is one executable instruction inside a basic block.
@@ -115,8 +130,18 @@ type Instr struct {
 	// OpCompute:
 	Cycles int64
 
-	// OpCall:
+	// OpCall (also OpSpawn's target procedure):
 	Callee string
+
+	// OpSpawn, OpJoin:
+	Handle string
+
+	// OpSpawn: the CPU the child task runs on and its parameter vector.
+	SpawnCPU    int
+	SpawnParams []int
+
+	// OpSend, OpRecv:
+	Chan string
 }
 
 // String renders a compact instruction mnemonic.
@@ -134,6 +159,18 @@ func (in Instr) String() string {
 		return fmt.Sprintf("unlock %s.%s %s", in.Struct.Name, in.Struct.Fields[in.Field].Name, in.Inst)
 	case OpCall:
 		return "call " + in.Callee
+	case OpSpawn:
+		s := fmt.Sprintf("spawn %s cpu=%d %s", in.Handle, in.SpawnCPU, in.Callee)
+		if len(in.SpawnParams) > 0 {
+			s += fmt.Sprintf(" params=%v", in.SpawnParams)
+		}
+		return s
+	case OpJoin:
+		return "join " + in.Handle
+	case OpSend:
+		return "send " + in.Chan
+	case OpRecv:
+		return "recv " + in.Chan
 	default:
 		return "?"
 	}
@@ -196,6 +233,29 @@ type IfStmt struct {
 	Else []Stmt
 }
 
+// SpawnStmt forks a child task running Callee on the given CPU with the
+// given parameter vector, naming the fork with Handle so a later
+// JoinStmt can wait for it. Sync statements (spawn/join/send/recv) are
+// restricted to the top level of a procedure body, and a procedure
+// containing any of them must never be called — Finalize enforces both,
+// which keeps the fork/join skeleton series-parallel and statically
+// enumerable.
+type SpawnStmt struct {
+	Handle string
+	CPU    int
+	Callee string
+	Params []int
+}
+
+// JoinStmt waits for the spawn named Handle (same procedure body).
+type JoinStmt struct{ Handle string }
+
+// SendStmt is a rendezvous send on the named channel.
+type SendStmt struct{ Chan string }
+
+// RecvStmt is a rendezvous receive on the named channel.
+type RecvStmt struct{ Chan string }
+
 func (*AccessStmt) stmtNode()  {}
 func (*MemStmt) stmtNode()     {}
 func (*ComputeStmt) stmtNode() {}
@@ -204,3 +264,7 @@ func (*UnlockStmt) stmtNode()  {}
 func (*CallStmt) stmtNode()    {}
 func (*LoopStmt) stmtNode()    {}
 func (*IfStmt) stmtNode()      {}
+func (*SpawnStmt) stmtNode()   {}
+func (*JoinStmt) stmtNode()    {}
+func (*SendStmt) stmtNode()    {}
+func (*RecvStmt) stmtNode()    {}

@@ -126,6 +126,28 @@ func (b *Builder) Call(callee string) *Builder {
 	return b.emit(&CallStmt{Callee: callee})
 }
 
+// Spawn emits a fork of the named procedure as a child task with the
+// given handle, CPU and parameter vector. Valid only at the top level of
+// a procedure body (Finalize enforces the discipline).
+func (b *Builder) Spawn(handle string, cpu int, callee string, params ...int) *Builder {
+	return b.emit(&SpawnStmt{Handle: handle, CPU: cpu, Callee: callee, Params: params})
+}
+
+// Join emits a wait for the spawn named handle.
+func (b *Builder) Join(handle string) *Builder {
+	return b.emit(&JoinStmt{Handle: handle})
+}
+
+// Send emits a rendezvous send on the named channel.
+func (b *Builder) Send(ch string) *Builder {
+	return b.emit(&SendStmt{Chan: ch})
+}
+
+// Recv emits a rendezvous receive on the named channel.
+func (b *Builder) Recv(ch string) *Builder {
+	return b.emit(&RecvStmt{Chan: ch})
+}
+
 // Loop emits a counted loop; body statements are built inside fn.
 func (b *Builder) Loop(count int64, fn func(*Builder)) *Builder {
 	if count < 0 {

@@ -59,6 +59,14 @@ func canonStmts(b *strings.Builder, stmts []Stmt, depth int) {
 			fmt.Fprintf(b, "%sunlock %s.%d %s\n", ind, structName(s.Struct), s.Field, s.Inst)
 		case *CallStmt:
 			fmt.Fprintf(b, "%scall %s\n", ind, s.Callee)
+		case *SpawnStmt:
+			fmt.Fprintf(b, "%sspawn %s cpu=%d %s params=%v\n", ind, s.Handle, s.CPU, s.Callee, s.Params)
+		case *JoinStmt:
+			fmt.Fprintf(b, "%sjoin %s\n", ind, s.Handle)
+		case *SendStmt:
+			fmt.Fprintf(b, "%ssend %s\n", ind, s.Chan)
+		case *RecvStmt:
+			fmt.Fprintf(b, "%srecv %s\n", ind, s.Chan)
 		case *LoopStmt:
 			fmt.Fprintf(b, "%sloop %d {\n", ind, s.Count)
 			canonStmts(b, s.Body, depth+1)

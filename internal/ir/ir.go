@@ -292,6 +292,9 @@ func (p *Program) Finalize() error {
 	if p.finalized {
 		return nil
 	}
+	if err := p.checkSyncStmts(); err != nil {
+		return err
+	}
 	// Deterministic order: procedures in registration order.
 	nextLine := 1
 	for _, pr := range p.Procs {
@@ -315,6 +318,11 @@ func (p *Program) Finalize() error {
 						return fmt.Errorf("ir: %s calls undefined procedure %q", pr.Name, in.Callee)
 					}
 				}
+				if in.Op == OpSpawn {
+					if p.procByName[in.Callee] == nil {
+						return fmt.Errorf("ir: %s spawns undefined procedure %q", pr.Name, in.Callee)
+					}
+				}
 			}
 		}
 	}
@@ -322,6 +330,127 @@ func (p *Program) Finalize() error {
 		return err
 	}
 	p.finalized = true
+	return nil
+}
+
+// checkSyncStmts enforces the structural discipline of the fork/join
+// skeleton before lowering (on the builder AST, where top-level-ness is
+// still visible):
+//
+//   - sync statements (spawn/join/send/recv) appear only at the top level
+//     of a procedure body — never inside a loop or branch, which would
+//     make the number of fork/join events per execution data-dependent;
+//   - spawn handles are unique per procedure, each join names an earlier
+//     spawn in the same body, and a handle is joined at most once;
+//   - a procedure containing sync statements is a task entry and must
+//     never be the target of a call (from anywhere).
+//
+// Together with the acyclicity check in checkCallGraph (which also walks
+// spawn edges) this keeps the task graph a statically known
+// series-parallel DAG — the property the happens-before analysis and the
+// exhaustive interleaving harness both rely on.
+func (p *Program) checkSyncStmts() error {
+	isSync := func(s Stmt) bool {
+		switch s.(type) {
+		case *SpawnStmt, *JoinStmt, *SendStmt, *RecvStmt:
+			return true
+		}
+		return false
+	}
+	var nestedSync func(stmts []Stmt) Stmt
+	nestedSync = func(stmts []Stmt) Stmt {
+		for _, s := range stmts {
+			if isSync(s) {
+				return s
+			}
+			switch s := s.(type) {
+			case *LoopStmt:
+				if bad := nestedSync(s.Body); bad != nil {
+					return bad
+				}
+			case *IfStmt:
+				if bad := nestedSync(s.Then); bad != nil {
+					return bad
+				}
+				if bad := nestedSync(s.Else); bad != nil {
+					return bad
+				}
+			}
+		}
+		return nil
+	}
+	syncProcs := make(map[string]bool)
+	for _, pr := range p.Procs {
+		spawned := make(map[string]bool) // handle -> declared
+		joined := make(map[string]bool)
+		hasSync := false
+		for _, s := range pr.Body {
+			switch s := s.(type) {
+			case *SpawnStmt:
+				hasSync = true
+				if s.Handle == "" {
+					return fmt.Errorf("ir: %s: spawn with empty handle", pr.Name)
+				}
+				if spawned[s.Handle] {
+					return fmt.Errorf("ir: %s: duplicate spawn handle %q", pr.Name, s.Handle)
+				}
+				spawned[s.Handle] = true
+			case *JoinStmt:
+				hasSync = true
+				if !spawned[s.Handle] {
+					return fmt.Errorf("ir: %s: join %q does not follow a spawn of that handle", pr.Name, s.Handle)
+				}
+				if joined[s.Handle] {
+					return fmt.Errorf("ir: %s: handle %q joined twice", pr.Name, s.Handle)
+				}
+				joined[s.Handle] = true
+			case *SendStmt, *RecvStmt:
+				hasSync = true
+			case *LoopStmt:
+				if bad := nestedSync(s.Body); bad != nil {
+					return fmt.Errorf("ir: %s: sync statement %T nested inside a loop (sync is top-level only)", pr.Name, bad)
+				}
+			case *IfStmt:
+				if bad := nestedSync(append(append([]Stmt{}, s.Then...), s.Else...)); bad != nil {
+					return fmt.Errorf("ir: %s: sync statement %T nested inside a branch (sync is top-level only)", pr.Name, bad)
+				}
+			}
+		}
+		if hasSync {
+			syncProcs[pr.Name] = true
+		}
+	}
+	if len(syncProcs) == 0 {
+		return nil
+	}
+	var calledSync func(pr *Procedure, stmts []Stmt) error
+	calledSync = func(pr *Procedure, stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *CallStmt:
+				if syncProcs[s.Callee] {
+					return fmt.Errorf("ir: %s calls %s, which contains sync statements (task entries must not be called)", pr.Name, s.Callee)
+				}
+			case *LoopStmt:
+				if err := calledSync(pr, s.Body); err != nil {
+					return err
+				}
+			case *IfStmt:
+				if err := calledSync(pr, s.Then); err != nil {
+					return err
+				}
+				if err := calledSync(pr, s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, pr := range p.Procs {
+		if err := calledSync(pr, pr.Body); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -61,6 +61,20 @@ func (lo *lowerer) edge(from, to *BasicBlock) {
 	to.Preds = append(to.Preds, from)
 }
 
+// syncBlock lowers one sync statement (spawn/join/send/recv) into a
+// dedicated straight-line block holding exactly that instruction. The
+// dedicated block gives the happens-before layer a crisp boundary: every
+// block of the procedure lies entirely before or entirely after each
+// synchronization point.
+func (lo *lowerer) syncBlock(last, open **BasicBlock, nodes *[]ExecNode, in Instr) {
+	*open = nil
+	b := lo.newBlock(false)
+	b.Instrs = append(b.Instrs, in)
+	lo.edge(*last, b)
+	*last = b
+	*nodes = append(*nodes, &ExecBlock{Block: b})
+}
+
 // lowerList lowers a statement list. last is the block that falls through
 // into the list; the returned exit is the block that falls through out of
 // it (== last for an empty list).
@@ -99,6 +113,14 @@ func (lo *lowerer) lowerList(stmts []Stmt, last *BasicBlock) (entry, exit *Basic
 		case *CallStmt:
 			b := ensureOpen()
 			b.Instrs = append(b.Instrs, Instr{Op: OpCall, Callee: s.Callee})
+		case *SpawnStmt:
+			lo.syncBlock(&last, &open, &nodes, Instr{Op: OpSpawn, Handle: s.Handle, Callee: s.Callee, SpawnCPU: s.CPU, SpawnParams: s.Params})
+		case *JoinStmt:
+			lo.syncBlock(&last, &open, &nodes, Instr{Op: OpJoin, Handle: s.Handle})
+		case *SendStmt:
+			lo.syncBlock(&last, &open, &nodes, Instr{Op: OpSend, Chan: s.Chan})
+		case *RecvStmt:
+			lo.syncBlock(&last, &open, &nodes, Instr{Op: OpRecv, Chan: s.Chan})
 		case *LoopStmt:
 			if len(s.Body) == 0 {
 				return nil, nil, nil, fmt.Errorf("empty loop body in %s", lo.proc.Name)

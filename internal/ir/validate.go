@@ -79,7 +79,9 @@ func (pr *Procedure) validate() error {
 	return nil
 }
 
-// checkCallGraph rejects recursion (direct or mutual).
+// checkCallGraph rejects recursion (direct or mutual), traversing call
+// and spawn edges alike: a task that (transitively) spawns its own entry
+// procedure would make the fork/join skeleton infinite.
 func (p *Program) checkCallGraph() error {
 	const (
 		white = iota
@@ -99,7 +101,7 @@ func (p *Program) checkCallGraph() error {
 		pr := p.procByName[name]
 		for _, b := range pr.Blocks {
 			for _, in := range b.Instrs {
-				if in.Op == OpCall {
+				if in.Op == OpCall || in.Op == OpSpawn {
 					if err := visit(in.Callee, append(path, name)); err != nil {
 						return err
 					}

@@ -99,6 +99,21 @@ func formatStmts(b *strings.Builder, stmts []ir.Stmt, depth int) {
 			fmt.Fprintf(b, "%scompute %d\n", ind, s.Cycles)
 		case *ir.CallStmt:
 			fmt.Fprintf(b, "%scall %s\n", ind, s.Callee)
+		case *ir.SpawnStmt:
+			fmt.Fprintf(b, "%sspawn %s %d %s", ind, s.Handle, s.CPU, s.Callee)
+			if len(s.Params) > 0 {
+				b.WriteString(" params")
+				for _, n := range s.Params {
+					fmt.Fprintf(b, " %d", n)
+				}
+			}
+			b.WriteString("\n")
+		case *ir.JoinStmt:
+			fmt.Fprintf(b, "%sjoin %s\n", ind, s.Handle)
+		case *ir.SendStmt:
+			fmt.Fprintf(b, "%ssend %s\n", ind, s.Chan)
+		case *ir.RecvStmt:
+			fmt.Fprintf(b, "%srecv %s\n", ind, s.Chan)
 		case *ir.LoopStmt:
 			fmt.Fprintf(b, "%sloop %d {\n", ind, s.Count)
 			formatStmts(b, s.Body, depth+1)

@@ -178,5 +178,5 @@ func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
 // recovery messages.
 var statementKeywords = strings.Join([]string{
 	"read", "write", "lock", "unlock", "compute", "call", "loop", "if",
-	"memsweep", "memat", "memrand",
+	"memsweep", "memat", "memrand", "spawn", "join", "send", "recv",
 }, ", ")

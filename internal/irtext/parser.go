@@ -494,6 +494,55 @@ func (p *parser) parseStmt(b *ir.Builder, kw string) error {
 			return err
 		}
 		b.MemRandom(region, acc)
+	case "spawn":
+		handle, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		cpuTok := p.tok
+		cpu, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if cpu < 0 {
+			return errAt(cpuTok, "spawn needs a non-negative CPU, got %d", cpu)
+		}
+		callee, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		var params []int
+		if p.tok.kind == tokIdent && p.tok.text == "params" {
+			if err := p.advanceTok(); err != nil {
+				return err
+			}
+			for p.tok.kind == tokNumber {
+				n, err := p.expectInt()
+				if err != nil {
+					return err
+				}
+				params = append(params, int(n))
+			}
+		}
+		b.Spawn(handle, int(cpu), callee, params...)
+	case "join":
+		handle, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		b.Join(handle)
+	case "send":
+		ch, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		b.Send(ch)
+	case "recv":
+		ch, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		b.Recv(ch)
 	default:
 		return p.errf("unknown statement %q (want one of: %s)", kw, statementKeywords)
 	}

@@ -1,0 +1,123 @@
+package staticshare
+
+import (
+	"testing"
+
+	"structlayout/internal/ir"
+	"structlayout/internal/irtext"
+)
+
+// FuzzHB throws arbitrary DSL sources at the happens-before layer and
+// asserts its structural invariants on everything that parses: the HB
+// graph is acyclic, block-level MHP is symmetric, and per-task ordering
+// is symmetric in its arguments and irreflexive on identical positions.
+func FuzzHB(f *testing.F) {
+	f.Add(hbForkJoinSrc)
+	f.Add(hbPipelineSrc)
+	f.Add(`program crossed
+
+struct S {
+    a i64
+    b i64
+}
+
+proc p1 {
+    write S.a shared 0
+    recv x
+    send y
+}
+
+proc p2 {
+    write S.b shared 0
+    recv y
+    send x
+}
+
+arena S 1
+thread 0 p1 iters 1
+thread 1 p2 iters 1
+`)
+	f.Add(`program siblings
+
+struct S {
+    a i64
+    b i64
+}
+
+proc parent {
+    spawn h1 1 w1
+    join h1
+    spawn h2 2 w2
+    join h2
+    write S.a shared 0
+}
+
+proc w1 {
+    write S.a shared 0
+}
+
+proc w2 {
+    write S.b shared 0
+}
+
+arena S 1
+thread 0 parent iters 2
+`)
+	f.Add(`program unjoined
+
+struct S {
+    a i64
+}
+
+proc parent {
+    spawn h 1 child
+    write S.a shared 0
+}
+
+proc child {
+    write S.a shared 0
+}
+
+arena S 1
+thread 0 parent iters 2
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := irtext.Parse(src)
+		if err != nil {
+			return
+		}
+		res, err := Analyze(file.Prog, FileConfig(file))
+		if err != nil {
+			return
+		}
+		if !res.HBAcyclic() {
+			t.Fatalf("happens-before graph has a cycle")
+		}
+		nb := res.Prog.NumBlocks()
+		if nb > 24 {
+			nb = 24
+		}
+		nt := len(res.Threads)
+		if nt > 6 {
+			nt = 6
+		}
+		for b1 := 0; b1 < nb; b1++ {
+			for b2 := 0; b2 < nb; b2++ {
+				p, q := ir.BlockID(b1), ir.BlockID(b2)
+				if res.MayHappenInParallel(p, q) != res.MayHappenInParallel(q, p) {
+					t.Fatalf("MHP asymmetric on blocks %d, %d", b1, b2)
+				}
+				for t1 := 0; t1 < nt; t1++ {
+					for t2 := 0; t2 < nt; t2++ {
+						if res.HBOrdered(t1, p, t2, q) != res.HBOrdered(t2, q, t1, p) {
+							t.Fatalf("HBOrdered asymmetric: tasks %d/%d blocks %d/%d", t1, t2, b1, b2)
+						}
+						if t1 == t2 && b1 == b2 && res.HBOrdered(t1, p, t2, q) {
+							t.Fatalf("HBOrdered reflexive on task %d block %d", t1, b1)
+						}
+					}
+				}
+			}
+		}
+	})
+}

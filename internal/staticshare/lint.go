@@ -192,7 +192,7 @@ func (r *Result) lintPerThreadLocks() []Finding {
 		var gkeys []gkey
 		for x, ai := range idxs {
 			a := &r.Accesses[ai]
-			k := gkey{a.Field, conflictKey{a.Inst, threadsKey(a.Threads), heldKeyEnc(a.Held)}}
+			k := gkey{a.Field, conflictKey{a.Inst, threadsKey(a.Threads), heldKeyEnc(a.Held), a.segKey}}
 			id, ok := gid[k]
 			if !ok {
 				id = len(reps)
@@ -261,7 +261,8 @@ func (r *Result) lintPerThreadLocks() []Finding {
 
 // lockedButShared reports whether a1 and a2 (same struct+field, a1 a
 // locked write) can touch the same instance from distinct threads with no
-// common concrete lock.
+// common concrete lock. Thread pairs the happens-before graph proves
+// ordered cannot race at all, whatever their locks resolve to.
 func (r *Result) lockedButShared(a1, a2 *Access) bool {
 	for _, t1 := range a1.Threads {
 		for _, t2 := range a2.Threads {
@@ -269,6 +270,9 @@ func (r *Result) lockedButShared(a1, a2 *Access) bool {
 				continue
 			}
 			if r.overlap(t1, a1, t2, a2) != ovMust {
+				continue
+			}
+			if r.hbExcluded(t1, a1.Block, t2, a2.Block) {
 				continue
 			}
 			if !r.lockExcluded(t1, a1, t2, a2) {

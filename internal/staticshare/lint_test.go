@@ -48,6 +48,8 @@ func TestLintExamplesGolden(t *testing.T) {
 	}{
 		{"examples/lint/clean.slp", nil},
 		{"examples/lint/falseshare.slp", []string{CodeFalseSharing, CodePerThreadLock}},
+		{"examples/lint/forkjoin.slp", []string{CodeFalseSharing}},
+		{"examples/lint/pipeline.slp", nil},
 		{"examples/dslprogram/webserver.slp", []string{CodeFalseSharing}},
 	}
 	for _, tc := range cases {

@@ -164,6 +164,11 @@ type Access struct {
 	// branch probabilities × interprocedural call-site frequency ×
 	// thread iteration counts.
 	Freq float64
+
+	// segKey canonically encodes the happens-before segments this
+	// access's block can execute in, per reaching thread ("" without
+	// sync statements); part of the conflict signature.
+	segKey string
 }
 
 // PairClass is the static sharing classification of a field pair, ordered
@@ -237,6 +242,7 @@ type Result struct {
 	reach     map[string][]int // proc name -> sorted thread indices
 	procFreq  map[string]float64
 	summaries map[string]*ProcSummary // summary path only; nil under ExactClassify
+	hb        *hbState                // happens-before graph; nil without sync statements
 }
 
 // Analyze runs the full analysis. Damaged inputs degrade instead of
@@ -260,20 +266,26 @@ func Analyze(p *ir.Program, cfg Config) (res *Result, err error) {
 	r := &Result{
 		Prog:     p,
 		Cfg:      cfg,
-		Threads:  cfg.Threads,
+		Threads:  append([]Thread(nil), cfg.Threads...),
 		Pairs:    make(map[string]map[[2]int]PairInfo),
 		byStruct: make(map[string][]int),
 		reach:    make(map[string][]int),
 		procFreq: make(map[string]float64),
 	}
+	// Task discovery extends Threads with spawned children, so it must
+	// precede every propagation that seeds from the thread list.
+	if err := r.discoverTasks(); err != nil {
+		return nil, err
+	}
+	r.buildHB()
 	r.computeReach()
 	localFreq := r.computeFreq()
 
 	// Lock analysis, graceful: a damaged program costs exclusion facts,
 	// not the whole analysis.
-	entries := make([]string, 0, len(cfg.Threads))
+	entries := make([]string, 0, len(r.Threads))
 	seen := make(map[string]bool)
-	for _, t := range cfg.Threads {
+	for _, t := range r.Threads {
 		if !seen[t.Proc] {
 			seen[t.Proc] = true
 			entries = append(entries, t.Proc)
@@ -352,6 +364,7 @@ func (r *Result) collectAccesses(local map[ir.BlockID]float64) {
 					if r.Locks != nil {
 						a.Held = r.Locks.HeldAt(b.Global, seq)
 					}
+					a.segKey = r.segKeyOf(threads, b.Global)
 					a.Foot = r.footprint(a)
 					r.byStruct[in.Struct.Name] = append(r.byStruct[in.Struct.Name], len(r.Accesses))
 					r.Accesses = append(r.Accesses, a)
@@ -419,6 +432,13 @@ func (r *Result) resolveInst(ti int, structName string, e ir.InstExpr) (idx int,
 		idx = ((idx % n) + n) % n
 	}
 	return idx, known, false
+}
+
+// ResolveInst exposes instance resolution for the mhpcheck interleaving
+// harness, which must model lock instances exactly the way the static
+// exclusion proofs resolve them.
+func (r *Result) ResolveInst(ti int, structName string, e ir.InstExpr) (idx int, known, sweep bool) {
+	return r.resolveInst(ti, structName, e)
 }
 
 // counted reports whether the struct's instance count is statically
@@ -490,7 +510,10 @@ func (r *Result) lockExcluded(t1 int, a1 *Access, t2 int, a2 *Access) bool {
 
 // conflictVerdict folds the thread-pair lattice for one access pair:
 // the strongest non-excluded overlap, and whether any overlapping
-// combination was lock-serialized.
+// combination was lock-serialized. Thread pairs the happens-before
+// graph proves ordered contribute nothing at all — an ordered pair
+// cannot conflict, so it neither raises the overlap nor counts as
+// lock-serialized.
 func (r *Result) conflictVerdict(a1, a2 *Access) (ov overlapKind, excluded bool) {
 	for _, t1 := range a1.Threads {
 		for _, t2 := range a2.Threads {
@@ -499,6 +522,9 @@ func (r *Result) conflictVerdict(a1, a2 *Access) (ov overlapKind, excluded bool)
 			}
 			o := r.overlap(t1, a1, t2, a2)
 			if o == ovNo {
+				continue
+			}
+			if r.hbExcluded(t1, a1.Block, t2, a2.Block) {
 				continue
 			}
 			if r.lockExcluded(t1, a1, t2, a2) {
@@ -620,10 +646,12 @@ func (r *Result) blockHeld(b *ir.BasicBlock) []locks.Key {
 }
 
 // Exclusive reports whether two blocks provably never execute in
-// parallel: either no two distinct threads reach them, or every reaching
-// thread pair holds a common lock on the same concrete instance across
-// both blocks. It is the complement of MayHappenInParallel and
-// deliberately conservative — unknown always means "may be parallel".
+// parallel: either no two distinct threads reach them, or every
+// reaching thread pair is serialized — by a common lock held on the
+// same concrete instance across both blocks, or by the happens-before
+// graph ordering every segment combination the blocks can execute in.
+// It is the complement of MayHappenInParallel and deliberately
+// conservative — unknown always means "may be parallel".
 func (r *Result) Exclusive(b1, b2 ir.BlockID) bool {
 	blk1, blk2 := r.blockAt(b1), r.blockAt(b2)
 	if blk1 == nil || blk2 == nil {
@@ -638,17 +666,19 @@ func (r *Result) Exclusive(b1, b2 ir.BlockID) bool {
 		return true // a single thread executes sequentially
 	}
 	h1, h2 := r.blockHeld(blk1), r.blockHeld(blk2)
-	if len(h1) == 0 || len(h2) == 0 {
-		return false
-	}
+	locksUsable := len(h1) > 0 && len(h2) > 0
 	for _, t1 := range t1s {
 		for _, t2 := range t2s {
 			if t1 == t2 {
 				continue
 			}
-			if !r.heldPairExcludes(t1, h1, t2, h2) {
-				return false
+			if locksUsable && r.heldPairExcludes(t1, h1, t2, h2) {
+				continue
 			}
+			if r.hbExcluded(t1, b1, t2, b2) {
+				continue
+			}
+			return false
 		}
 	}
 	return true

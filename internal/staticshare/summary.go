@@ -243,14 +243,17 @@ func (r *Result) computeFreq() map[ir.BlockID]float64 {
 
 // conflictKey is the part of an access signature the pairwise verdict
 // depends on: conflictVerdict (and lockedButShared) consult only the
-// instance expression, the reaching-thread set and the held-lock set, so
-// two accesses with equal conflictKeys are interchangeable in any
-// verdict. threads and held are canonical encodings so the struct is
-// comparable and usable as a map key.
+// instance expression, the reaching-thread set, the held-lock set and
+// the happens-before segments of the access's block, so two accesses
+// with equal conflictKeys are interchangeable in any verdict. threads,
+// held and segs are canonical encodings so the struct is comparable
+// and usable as a map key. segs is "" on programs without sync
+// statements, so their grouping is unchanged from the pre-HB analysis.
 type conflictKey struct {
 	inst    ir.InstExpr
 	threads string
 	held    string
+	segs    string
 }
 
 func threadsKey(ts []int) string {
@@ -300,6 +303,7 @@ type SummaryGroup struct {
 	LocalFreq map[float64]int64
 
 	heldEnc string
+	segEnc  string
 	rep     *Access
 }
 
@@ -331,6 +335,7 @@ func (r *Result) summarize(local map[ir.BlockID]float64) {
 		write      bool
 		inst       ir.InstExpr
 		held       string
+		segs       string
 	}
 	index := make(map[string]map[gkey]int)
 	for ai := range r.Accesses {
@@ -345,7 +350,7 @@ func (r *Result) summarize(local map[ir.BlockID]float64) {
 			r.summaries[blk.Proc.Name] = ps
 			index[blk.Proc.Name] = make(map[gkey]int)
 		}
-		k := gkey{a.Struct.Name, a.Field, a.Write, a.Inst, heldKeyEnc(a.Held)}
+		k := gkey{a.Struct.Name, a.Field, a.Write, a.Inst, heldKeyEnc(a.Held), a.segKey}
 		gi, ok := index[blk.Proc.Name][k]
 		if !ok {
 			gi = len(ps.Groups)
@@ -358,6 +363,7 @@ func (r *Result) summarize(local map[ir.BlockID]float64) {
 				MinAccess: ai,
 				LocalFreq: make(map[float64]int64),
 				heldEnc:   k.held,
+				segEnc:    k.segs,
 				rep:       a,
 			})
 		}
@@ -402,7 +408,7 @@ func (r *Result) classifySummary(local map[ir.BlockID]float64) {
 		tk := threadsKey(r.reach[pr.Name])
 		for gi := range ps.Groups {
 			g := &ps.Groups[gi]
-			sig := fullSig{g.Field, g.Write, conflictKey{g.Inst, tk, g.heldEnc}}
+			sig := fullSig{g.Field, g.Write, conflictKey{g.Inst, tk, g.heldEnc, g.segEnc}}
 			m := byStruct[g.Struct]
 			if m == nil {
 				m = make(map[fullSig]*instGroup)
@@ -516,7 +522,10 @@ func (k conflictKey) less(o conflictKey) bool {
 	if k.threads != o.threads {
 		return k.threads < o.threads
 	}
-	return k.held < o.held
+	if k.held != o.held {
+		return k.held < o.held
+	}
+	return k.segs < o.segs
 }
 
 // classOf maps a pair verdict onto the class lattice. The caller
